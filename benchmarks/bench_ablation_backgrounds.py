@@ -1,0 +1,126 @@
+"""A2 — ablation: ATMarch background-plan size vs intra-word coverage.
+
+TWM_TA's central design choice is to exercise intra-word coupling with
+``log2 b`` checkerboard elements instead of repeating the whole test per
+background.  This ablation truncates/extends the pattern set and
+measures intra-word CF coverage, showing:
+
+* solid backgrounds alone (no ATMarch patterns) miss most intra-word
+  CFs;
+* each checkerboard adds coverage; all ``log2 b`` are needed to reach
+  the paper's level (the plan is minimal: fewer patterns cannot
+  separate all bit pairs);
+* adding the *complement* checkerboards (doubling ATMarch, Scheme 1's
+  effective pattern set) buys the remaining orientation-dependent CFst
+  conditions — the cost/coverage trade-off the paper implicitly makes.
+"""
+
+import random
+
+from conftest import save_artifact
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.analysis.reports import render_table
+from repro.core.element import AddressOrder, MarchElement
+from repro.core.march import MarchTest
+from repro.core.ops import DataExpr, Mask, Op, checker
+from repro.core.transparent import to_transparent
+from repro.core.twm import solid_background_test
+from repro.library import catalog
+from repro.memory.injection import enumerate_intra_word_cf
+
+N_WORDS, WIDTH = 2, 8
+LEVELS = 3  # log2(8)
+
+
+def tail_with_patterns(masks):
+    """An ATMarch-style tail writing the given pattern masks."""
+    elements = []
+    for mask in masks:
+        elements.append(
+            MarchElement(
+                AddressOrder.ANY,
+                (
+                    Op.read(DataExpr(True, Mask.ZERO)),
+                    Op.write(DataExpr(True, mask)),
+                    Op.read(DataExpr(True, mask)),
+                    Op.write(DataExpr(True, Mask.ZERO)),
+                    Op.read(DataExpr(True, Mask.ZERO)),
+                ),
+            )
+        )
+    elements.append(
+        MarchElement(AddressOrder.ANY, (Op.read(DataExpr(True, Mask.ZERO)),))
+    )
+    return MarchTest(f"tail[{len(masks)}]", tuple(elements))
+
+
+def generate():
+    base = to_transparent(
+        solid_background_test(catalog.get("March C-"))[0], restore=False
+    ).transparent
+    universe = {
+        "CFid-intra": list(enumerate_intra_word_cf(N_WORDS, WIDTH, ("CFid",))),
+        "CFin-intra": list(enumerate_intra_word_cf(N_WORDS, WIDTH, ("CFin",))),
+        "CFst-intra": list(enumerate_intra_word_cf(N_WORDS, WIDTH, ("CFst",))),
+    }
+
+    checkers = [Mask.of(checker(k)) for k in range(1, LEVELS + 1)]
+    complements = [m ^ Mask.ONES for m in checkers]
+    plans = {
+        "no patterns": [],
+        "D1": checkers[:1],
+        "D1..D2": checkers[:2],
+        "D1..D3 (TWM_TA)": checkers,
+        "D1..D3 + complements": checkers + complements,
+    }
+
+    rows = []
+    for label, masks in plans.items():
+        test = base.concat(tail_with_patterns(masks), name=label)
+        flow = compare_flow(test, N_WORDS, WIDTH, initial=None, seed=3)
+        report = run_campaign(flow, universe, flow_name=label)
+        vec = report.coverage_vector()
+        rows.append(
+            (
+                label,
+                test.op_count,
+                vec["CFid-intra"],
+                vec["CFin-intra"],
+                vec["CFst-intra"],
+            )
+        )
+    return rows
+
+
+def test_ablation_background_plan(benchmark):
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    table = render_table(
+        ["Pattern plan", "TCM/n", "CFid-intra %", "CFin-intra %", "CFst-intra %"],
+        [(l, c, f"{a:.2f}", f"{b:.2f}", f"{d:.2f}") for l, c, a, b, d in rows],
+        title=(
+            "Ablation A2 — ATMarch pattern-plan size vs intra-word CF "
+            f"coverage (March C-, b={WIDTH})"
+        ),
+    )
+    save_artifact("ablation_backgrounds", table)
+
+    by_label = {label: row for label, *row in rows}
+
+    # Coverage grows monotonically with the plan for CFid.
+    cfid = [by_label[l][1] for l in ("no patterns", "D1", "D1..D2", "D1..D3 (TWM_TA)")]
+    assert cfid == sorted(cfid)
+    assert cfid[-1] > cfid[0]
+
+    # The full log2(b) plan is needed: truncations lose CFid coverage.
+    assert by_label["D1..D2"][1] < by_label["D1..D3 (TWM_TA)"][1]
+
+    # Complement patterns repair the orientation-dependent CFst gap.
+    assert (
+        by_label["D1..D3 + complements"][3]
+        > by_label["D1..D3 (TWM_TA)"][3]
+    )
+
+    # ...at a real cost in test length.
+    assert by_label["D1..D3 + complements"][0] > by_label["D1..D3 (TWM_TA)"][0]

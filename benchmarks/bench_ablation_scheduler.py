@@ -1,0 +1,103 @@
+"""A3 — ablation: idle-window density vs online-test behaviour.
+
+The paper motivates short transparent tests with: "shorter test time
+can reduce the probability of interference of normal system operation,
+since transparent tests usually are executed in idle state of systems."
+This ablation simulates periodic online testing under workloads of
+varying idle density and compares the proposed TWMarch against the
+Scheme 1 test: the shorter test completes more sessions, aborts less
+often per completion, and finds an injected fault sooner.
+"""
+
+import random
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.baselines.scheme1 import scheme1_transform
+from repro.bist.scheduler import OnlineTestScheduler, random_workload
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.faults import Cell, StuckAtFault
+from repro.memory.injection import FaultyMemory
+
+N_WORDS, WIDTH = 2, 32
+CYCLES = 30_000
+IDLE_FRACTIONS = (0.95, 0.8, 0.6)
+
+
+def run_one(test, prediction, idle_fraction, seed):
+    memory = FaultyMemory(N_WORDS, WIDTH)
+    memory.randomize(random.Random(seed))
+    sched = OnlineTestScheduler(
+        memory,
+        test,
+        prediction,
+        ops_per_idle_cycle=2,
+        rng=random.Random(seed + 1),
+    )
+    workload = random_workload(
+        N_WORDS, WIDTH, idle_fraction=idle_fraction, write_fraction=0.02
+    )
+
+    def inject(mem):
+        mem.inject(StuckAtFault(Cell(1, 7), 1))
+
+    report = sched.run(workload, CYCLES, fault_at=(CYCLES // 4, inject))
+    return report
+
+
+def generate():
+    twm = twm_transform(catalog.get("March C-"), WIDTH)
+    s1 = scheme1_transform(catalog.get("March C-"), WIDTH)
+    rows = []
+    for idle in IDLE_FRACTIONS:
+        for label, test, prediction in (
+            ("TWMarch", twm.twmarch, twm.prediction),
+            ("Scheme 1", s1.transparent, s1.prediction),
+        ):
+            report = run_one(test, prediction, idle, seed=17)
+            rows.append(
+                (
+                    f"{idle:.0%}",
+                    label,
+                    report.sessions_completed,
+                    report.sessions_aborted,
+                    report.detection_latency,
+                )
+            )
+    return rows
+
+
+def test_ablation_scheduler(benchmark):
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    table = render_table(
+        ["Idle fraction", "Test", "Sessions done", "Aborts", "Detection latency"],
+        [
+            (idle, label, done, aborts, lat if lat is not None else "miss")
+            for idle, label, done, aborts, lat in rows
+        ],
+        title=(
+            "Ablation A3 — idle density vs online transparent testing "
+            f"(March C-, b={WIDTH}, {CYCLES} cycles, SAF injected at 25%)"
+        ),
+    )
+    save_artifact("ablation_scheduler", table)
+
+    by_key = {(idle, label): row for idle, label, *row in rows}
+
+    for idle in ("95%", "80%", "60%"):
+        twm_done = by_key[(idle, "TWMarch")][0]
+        s1_done = by_key[(idle, "Scheme 1")][0]
+        # The shorter test never completes fewer sessions.
+        assert twm_done >= s1_done
+
+    # At the highest idle density both run, TWM detects the fault.
+    assert by_key[("95%", "TWMarch")][0] > 0
+    assert by_key[("95%", "TWMarch")][2] is not None
+
+    # Busier systems complete fewer sessions (interference claim).
+    assert (
+        by_key[("60%", "TWMarch")][0] <= by_key[("95%", "TWMarch")][0]
+    )

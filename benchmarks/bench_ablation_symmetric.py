@@ -1,0 +1,105 @@
+"""A4 — ablation: symmetric (single-phase) vs two-phase transparent BIST.
+
+The paper's related work ([18] Yarmolik/Hellebrand) removes the
+signature-prediction phase by making the transparent test *symmetric*:
+its fault-free signature is independent of the memory content, so the
+reference can be precomputed.  This ablation implements that trade-off
+with lane-interleaved XOR compaction and measures, against the paper's
+two-phase TWMarch flow:
+
+* session cost (the symmetric flow saves the whole TCP);
+* detection over the exhaustive SAF+TF universe, showing the
+  compaction risk: a 1-lane (plain XOR) compactor systematically masks
+  even-multiplicity errors (~50 % loss), 3 lanes repair it here, while
+  the shifting 16-bit MISR of the two-phase flow detects everything.
+"""
+
+import random
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.bist.controller import TransparentBist
+from repro.bist.symmetry import SymmetricBist, content_dependence
+from repro.bist.misr import Misr
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.injection import (
+    FaultyMemory,
+    enumerate_stuck_at,
+    enumerate_transition,
+)
+
+N_WORDS, WIDTH = 4, 8
+
+
+def generate():
+    result = twm_transform(catalog.get("March C-"), WIDTH)
+    faults = list(enumerate_stuck_at(N_WORDS, WIDTH)) + list(
+        enumerate_transition(N_WORDS, WIDTH)
+    )
+
+    flows = {}
+    two_phase = TransparentBist.from_twm(result)
+    flows["two-phase MISR16"] = (
+        result.tcm + result.tcp,
+        lambda m: two_phase.run(m).detected,
+    )
+    for lanes in (1, 2, 3):
+        bist = SymmetricBist(result.twmarch, N_WORDS, WIDTH, lanes=lanes)
+        flows[f"symmetric {lanes}-lane"] = (bist.session_ops, bist.run)
+
+    rows = []
+    for label, (cost, flow) in flows.items():
+        detected = 0
+        for fault in faults:
+            memory = FaultyMemory(N_WORDS, WIDTH, [fault])
+            memory.randomize(random.Random(5))
+            detected += flow(memory)
+        rows.append((label, cost, detected, len(faults)))
+
+    # MISR content dependence: why the plain two-phase flow *needs* the
+    # prediction pass.
+    dependence = content_dependence(
+        result.twmarch, N_WORDS, WIDTH, Misr(16)
+    )
+    return rows, dependence
+
+
+def test_ablation_symmetric_bist(benchmark):
+    rows, dependence = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    table = render_table(
+        ["Flow", "Session ops/word", "Detected", "Faults"],
+        rows,
+        title=(
+            "Ablation A4 — single-phase symmetric BIST vs two-phase "
+            f"(March C- TWMarch, {N_WORDS}x{WIDTH}, SAF+TF universe)"
+        ),
+    )
+    note = (
+        f"\nMISR16 signature depends on {dependence.dependent_cells} content "
+        "bits -> a non-symmetric test needs the prediction phase."
+    )
+    save_artifact("ablation_symmetric", table + note)
+
+    by_label = {label: (cost, det, total) for label, cost, det, total in rows}
+
+    # The two-phase flow detects everything but pays TCM+TCP.
+    cost2, det2, total = by_label["two-phase MISR16"]
+    assert det2 == total
+
+    # Symmetric flows cost less per session (no prediction pass, modulo
+    # a few padding reads).
+    for lanes in (1, 2, 3):
+        cost, _, _ = by_label[f"symmetric {lanes}-lane"]
+        assert cost < cost2
+
+    # Plain XOR masks heavily; 3 lanes repair SAF/TF detection here.
+    _, det1, _ = by_label["symmetric 1-lane"]
+    _, det3, _ = by_label["symmetric 3-lane"]
+    assert det1 < total
+    assert det3 == total
+
+    # The shifting MISR really is content-dependent on this test.
+    assert not dependence.symmetric

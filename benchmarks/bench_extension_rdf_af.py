@@ -1,0 +1,96 @@
+"""E-ext — extension fault models: read-disturb and decoder faults.
+
+Beyond the Section 2 fault universe, the simulator models RDF/DRDF
+(read-disturb, plain and deceptive) and address-decoder faults; this
+benchmark reproduces the textbook detection results on both the
+bit-oriented tests and their TWM_TA transparent word transforms:
+
+* every March test detects plain RDF and the AF classes;
+* March C− is blind to *deceptive* RDF (the damaged value is only ever
+  observed after an intervening write) while the double-read tests
+  March SS and March RAW detect 100 %;
+* **emergent bonus of TWM_TA**: the transparent word transform of March
+  C− detects 100 % DRDF even though the bit-oriented original detects
+  none — ATMarch's element-boundary reads (`..., r c; ⇕(r c, ...)`)
+  form back-to-back reads of every word with no intervening write,
+  which is precisely the DRDF detection condition.
+"""
+
+import random
+
+from conftest import save_artifact
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.analysis.reports import render_table
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.injection import (
+    enumerate_address_faults,
+    enumerate_read_disturb,
+)
+
+N_WORDS = 6
+WIDTH = 4
+TESTS = ("March C-", "March SS", "March RAW")
+
+
+def generate():
+    universe_bit = {
+        "RDF": list(enumerate_read_disturb(N_WORDS, 1, deceptive=False)),
+        "DRDF": list(enumerate_read_disturb(N_WORDS, 1, deceptive=True)),
+        "AF": list(enumerate_address_faults(N_WORDS)),
+    }
+    universe_word = {
+        "RDF": list(enumerate_read_disturb(N_WORDS, WIDTH, deceptive=False)),
+        "DRDF": list(enumerate_read_disturb(N_WORDS, WIDTH, deceptive=True)),
+        "AF": list(enumerate_address_faults(N_WORDS)),
+    }
+
+    rows = []
+    for name in TESTS:
+        bit_flow = compare_flow(catalog.get(name), N_WORDS, 1, initial=0)
+        bit_rep = run_campaign(bit_flow, universe_bit)
+        twm = twm_transform(catalog.get(name), WIDTH)
+        word_flow = compare_flow(
+            twm.twmarch, N_WORDS, WIDTH, initial=None, seed=9
+        )
+        word_rep = run_campaign(word_flow, universe_word)
+        for cls in ("RDF", "DRDF", "AF"):
+            rows.append(
+                (
+                    name,
+                    cls,
+                    f"{bit_rep.classes[cls].percent:.1f}%",
+                    f"{word_rep.classes[cls].percent:.1f}%",
+                )
+            )
+    return rows
+
+
+def test_extension_rdf_af(benchmark):
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    table = render_table(
+        ["Test", "Fault class", "Bit-oriented", "TWMarch (transparent word)"],
+        rows,
+        title=(
+            "Extension — read-disturb and address-decoder fault coverage "
+            f"({N_WORDS} words; word tests at b={WIDTH})"
+        ),
+    )
+    save_artifact("extension_rdf_af", table)
+
+    by_key = {(test, cls): (bit, word) for test, cls, bit, word in rows}
+
+    # Everyone catches plain RDF and the decoder faults.
+    for name in TESTS:
+        assert by_key[(name, "RDF")] == ("100.0%", "100.0%")
+        assert by_key[(name, "AF")][0] == "100.0%"
+
+    # The classic DRDF split at the bit level...
+    assert by_key[("March C-", "DRDF")][0] == "0.0%"
+    assert by_key[("March SS", "DRDF")][0] == "100.0%"
+    assert by_key[("March RAW", "DRDF")][0] == "100.0%"
+    # ...and the emergent repair by ATMarch's element-boundary reads.
+    assert by_key[("March C-", "DRDF")][1] == "100.0%"
+    assert by_key[("March SS", "DRDF")][1] == "100.0%"

@@ -1,0 +1,99 @@
+"""E5 — Figure 1(b): intra-word two-bit write/read conditions.
+
+Figure 1(b) shows the joint states of two bits inside one word; the
+Section 5 argument is that SMarch covers the two solid conditions
+(both bits at d and both at ~d) and ATMarch's checkerboards add mixed
+conditions.  We enumerate, for every ordered bit pair, which of the
+four write-then-read patterns each test covers, and quantify the
+orientation property discussed in EXPERIMENTS.md: the ``log2 b``
+checkerboards pick exactly one mixed orientation per pair (3 of 4
+conditions), while Scheme 1 — writing both polarities of every
+background — covers all 4 at 2–5x the cost.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.analysis.states import intra_word_conditions
+from repro.baselines.scheme1 import scheme1_transform
+from repro.core.twm import (
+    nontransparent_word_reference,
+    solid_background_test,
+    twm_transform,
+)
+from repro.library import catalog
+
+WIDTH = 8
+
+
+def generate():
+    test = catalog.get("March C-")
+    smarch, _ = solid_background_test(test)
+    return {
+        "SMarch only": intra_word_conditions(smarch, WIDTH),
+        "SMarch+AMarch (ref)": intra_word_conditions(
+            nontransparent_word_reference(test, WIDTH), WIDTH
+        ),
+        "TWMarch (this work)": intra_word_conditions(
+            twm_transform(test, WIDTH).twmarch, WIDTH, initial=0
+        ),
+        "Scheme 1 [12]": intra_word_conditions(
+            scheme1_transform(test, WIDTH).transparent, WIDTH, initial=0
+        ),
+    }
+
+
+def test_fig1b_intraword_conditions(benchmark):
+    conditions = benchmark(generate)
+
+    n_pairs = WIDTH * (WIDTH - 1)
+    rows = []
+    for name, cond in conditions.items():
+        histogram = {k: 0 for k in (2, 3, 4)}
+        for pats in cond.covered.values():
+            histogram[len(pats)] += 1
+        rows.append(
+            (
+                name,
+                n_pairs,
+                histogram[2],
+                histogram[3],
+                histogram[4],
+                "yes" if cond.all_pairs_full else "no",
+            )
+        )
+    table = render_table(
+        [
+            "Test",
+            "Ordered bit pairs",
+            "2/4 conditions",
+            "3/4 conditions",
+            "4/4 conditions",
+            "all pairs full",
+        ],
+        rows,
+        title="Figure 1(b) — intra-word write/read condition coverage (b=8)",
+    )
+    save_artifact("fig1b_intraword_conditions", table)
+
+    # SMarch alone: only the two solid conditions per pair.
+    assert all(
+        pats == {(0, 0), (1, 1)}
+        for pats in conditions["SMarch only"].covered.values()
+    )
+
+    # ATMarch adds exactly one mixed orientation per pair.
+    ref = conditions["SMarch+AMarch (ref)"]
+    assert ref.pairs_with(3) == n_pairs
+    assert not ref.all_pairs_full
+
+    # The transparent TWMarch covers exactly the same conditions as its
+    # non-transparent reference — the Section 5 equality at the
+    # condition level.
+    assert (
+        conditions["TWMarch (this work)"].covered
+        == ref.covered
+    )
+
+    # Scheme 1's both-polarity backgrounds reach all four conditions.
+    assert conditions["Scheme 1 [12]"].all_pairs_full

@@ -1,0 +1,51 @@
+"""E1 — Table 1: word content during the first three ATMarch elements.
+
+The paper's Table 1 lists the symbolic content of one 8-bit word
+(``a7 .. a0``) after each operation of ATMarch's first three march
+elements.  We regenerate it from the ATMarch produced by TWM_TA for
+March U on 8-bit words (the paper's Section 4 example) and assert the
+structural properties the table exhibits.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.analysis.symbolic import table1_rows
+from repro.core.twm import twm_transform
+from repro.library import catalog
+
+
+def generate():
+    result = twm_transform(catalog.get("March U"), 8)
+    return result, table1_rows(result.atmarch, width=8)
+
+
+def test_table1_atmarch_states(benchmark):
+    result, rows = benchmark(generate)
+
+    table = render_table(
+        ["Test operation", "Word content after the operation"],
+        rows,
+        title=(
+            "Table 1 — content of an 8-bit word during the first three "
+            "ATMarch elements (ATMarch of TWMarch U)"
+        ),
+    )
+    save_artifact("table1_atmarch_states", table)
+
+    # Three five-op elements.
+    assert len(rows) == 15
+
+    # Element k applies D_k and removes it again (transparency per
+    # element); the paper's D1/D2/D3 are 01010101, 00110011, 00001111.
+    plain = "a7 a6 a5 a4 a3 a2 a1 a0"
+    assert rows[0] == ("rc", plain)
+    assert rows[1] == ("w(c^D1)", "a7 ~a6 a5 ~a4 a3 ~a2 a1 ~a0")
+    assert rows[6] == ("w(c^D2)", "a7 a6 ~a5 ~a4 a3 a2 ~a1 ~a0")
+    assert rows[11] == ("w(c^D3)", "a7 a6 a5 a4 ~a3 ~a2 ~a1 ~a0")
+    for idx in (4, 9, 14):  # element-final reads
+        assert rows[idx][1] == plain
+
+    # Every element is the paper's (r, w^Dk, r, w, r) shape.
+    kinds = [op[0] for op, _ in rows]
+    assert kinds == list("rwrwr") * 3

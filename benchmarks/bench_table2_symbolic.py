@@ -1,0 +1,70 @@
+"""E2 — Table 2: symbolic TCM/TCP comparison of the three schemes.
+
+Regenerates the closed-form complexity table and cross-checks every
+formula against exact operation counts of the generated tests across a
+grid of March tests and word widths.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.baselines.scheme1 import scheme1_formula_tcm, scheme1_transform
+from repro.baselines.tomt import tomt_tcm, tomt_test
+from repro.core.backgrounds import log2_width
+from repro.core.complexity import table2_rows, twm_formula_tcm, twm_formula_tcp
+from repro.core.twm import twm_transform
+from repro.library import catalog
+
+
+def generate():
+    rows = table2_rows()
+    # Cross-check the closed forms against generated tests.
+    checks = []
+    for name in ("March C-", "March X", "March Y", "March LR"):
+        test = catalog.get(name)
+        for width in (2, 4, 8, 16, 32, 64):
+            twm = twm_transform(test, width)
+            checks.append(
+                (
+                    name,
+                    width,
+                    twm.tcm,
+                    twm_formula_tcm(test.op_count, width),
+                    twm.tcp,
+                    twm_formula_tcp(test.n_reads, width),
+                )
+            )
+    return rows, checks
+
+
+def test_table2_symbolic_complexity(benchmark):
+    rows, checks = benchmark(generate)
+
+    table = render_table(
+        ["Scheme", "TCM", "TCP"],
+        rows,
+        title="Table 2 — time complexity of the transparent test schemes",
+    )
+    check_table = render_table(
+        ["Test", "b", "TCM measured", "TCM formula", "TCP measured", "TCP formula"],
+        checks,
+        title="Closed forms vs exact operation counts (read-ending tests)",
+    )
+    save_artifact("table2_symbolic", table + "\n\n" + check_table)
+
+    assert len(rows) == 3
+    for _, width, tcm_m, tcm_f, tcp_m, tcp_f in checks:
+        assert tcm_m == tcm_f
+        assert tcp_m == tcp_f
+
+    # TOMT's formula matches its generated test exactly, for any width.
+    for width in (4, 8, 32):
+        assert tomt_test(width).op_count == tomt_tcm(width)
+
+    # Scheme 1's closed form is a lower bound of the executable
+    # construction and within 2*log2(b)+1 of it.
+    t = catalog.get("March C-")
+    for width in (4, 8, 32):
+        measured = scheme1_transform(t, width).tcm
+        formula = scheme1_formula_tcm(t.op_count, width)
+        assert formula <= measured <= formula + 2 * log2_width(width) + 1

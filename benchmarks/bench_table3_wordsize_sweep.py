@@ -1,0 +1,93 @@
+"""E3 — Table 3: test complexity vs word size for the three schemes.
+
+The paper's Table 3 sweeps March C− and March U over word sizes 16, 32,
+64 and 128 bits and reports total test complexity (TCM + TCP) per
+scheme.  We regenerate the table from exact counts of the generated
+tests and assert the paper's qualitative claims:
+
+* the proposed scheme is the shortest everywhere;
+* Scheme 1 grows multiplicatively with ``log2 b`` while the proposed
+  scheme grows only additively (it is "only slightly related" to the
+  bit-oriented test);
+* TOMT grows linearly in ``b`` and dominates for wide words.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.reports import render_table
+from repro.core.complexity import table3_rows
+from repro.library import catalog
+
+WIDTHS = (16, 32, 64, 128)
+
+
+def generate():
+    return table3_rows(
+        [catalog.get("March C-"), catalog.get("March U")], widths=WIDTHS
+    )
+
+
+def test_table3_wordsize_sweep(benchmark):
+    rows = benchmark(generate)
+
+    rendered = [
+        (
+            row.test,
+            f"{row.width} bits",
+            f"{row.scheme1_measured.total}n ({row.scheme1_formula.total}n)",
+            f"{row.tomt.total}n",
+            f"{row.this_work.total}n",
+            f"{row.ratio_vs_scheme1:.0%}",
+            f"{row.ratio_vs_tomt:.0%}",
+        )
+        for row in rows
+    ]
+    table = render_table(
+        [
+            "Test",
+            "Word size",
+            "[12] measured (formula)",
+            "[13]",
+            "This work",
+            "vs [12]",
+            "vs [13]",
+        ],
+        rendered,
+        title="Table 3 — test complexity for different word sizes (TCM+TCP)",
+    )
+    save_artifact("table3_wordsize_sweep", table)
+
+    assert len(rows) == 8
+    for row in rows:
+        # The proposed scheme wins everywhere.
+        assert row.this_work.total < row.scheme1_measured.total
+        assert row.this_work.total < row.scheme1_formula.total
+        assert row.this_work.total < row.tomt.total
+
+    # Growth shape: doubling b adds a constant (7 ops: 5 TCM + 2 TCP...)
+    # for this work, but ~N+Q ops for Scheme 1 and ~9b ops for TOMT.
+    by_test = {}
+    for row in rows:
+        by_test.setdefault(row.test, []).append(row)
+    for series in by_test.values():
+        series.sort(key=lambda r: r.width)
+        deltas_this = [
+            b.this_work.total - a.this_work.total
+            for a, b in zip(series, series[1:])
+        ]
+        assert len(set(deltas_this)) == 1  # additive: constant per doubling
+        assert deltas_this[0] == 8  # 5 (ATMarch) + 3 (prediction reads)
+        deltas_s1 = [
+            b.scheme1_measured.total - a.scheme1_measured.total
+            for a, b in zip(series, series[1:])
+        ]
+        assert all(d > deltas_this[0] for d in deltas_s1)
+        deltas_tomt = [
+            b.tomt.total - a.tomt.total for a, b in zip(series, series[1:])
+        ]
+        assert deltas_tomt == [9 * 16, 9 * 32, 9 * 64]
+
+    # Paper's worked example (March U, 8-bit) as an extra row-level check.
+    from repro.core.complexity import twm_cost
+
+    assert twm_cost(catalog.get("March U"), 8).tcm == 29

@@ -1,0 +1,25 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, asserts
+the reproduction claims on it, saves the rendered artifact under
+``benchmarks/out/``, and times the generating computation with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/out/*.txt`` for the regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> pathlib.Path:
+    """Write a rendered table/figure to ``benchmarks/out/<name>.txt``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

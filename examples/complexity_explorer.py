@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's complexity comparisons (Tables 2 & 3).
+
+Prints the symbolic Table 2, the word-size sweep of Table 3 (with
+measured op counts of the generated tests), and the headline 56 % /
+19 % example, then explores how the advantage scales across the whole
+March-test catalog.
+
+Run:  python examples/complexity_explorer.py
+"""
+
+from repro import library, render_table, table2_rows, table3_rows
+from repro.core.complexity import headline_ratios, twm_cost, tomt_cost, scheme1_cost
+
+
+def main() -> None:
+    print(
+        render_table(
+            ["Scheme", "TCM", "TCP"],
+            table2_rows(),
+            title="Table 2 — symbolic time complexity",
+        )
+    )
+    print()
+
+    rows = table3_rows(
+        [library.get("March C-"), library.get("March U")],
+        widths=(16, 32, 64, 128),
+    )
+    print(
+        render_table(
+            ["Test", "b", "Scheme 1 [12]", "TOMT [13]", "This work",
+             "vs [12]", "vs [13]"],
+            [
+                (
+                    r.test,
+                    r.width,
+                    f"{r.scheme1_measured.total}n",
+                    f"{r.tomt.total}n",
+                    f"{r.this_work.total}n",
+                    f"{r.ratio_vs_scheme1:.0%}",
+                    f"{r.ratio_vs_tomt:.0%}",
+                )
+                for r in rows
+            ],
+            title="Table 3 — total complexity (TCM+TCP) vs word size",
+        )
+    )
+    print()
+
+    h = headline_ratios(library.get("March C-"), 32)
+    print(
+        f"Headline (March C-, b=32): this work {h.this_work.total}n — "
+        f"{h.vs_scheme1:.1%} of Scheme 1, {h.vs_tomt:.1%} of TOMT"
+    )
+    print()
+
+    print(
+        render_table(
+            ["March test", "N", "Q", "This work (b=32)", "Scheme 1 (b=32)",
+             "TOMT (b=32)"],
+            [
+                (
+                    name,
+                    library.get(name).op_count,
+                    library.get(name).n_reads,
+                    f"{twm_cost(library.get(name), 32).total}n",
+                    f"{scheme1_cost(library.get(name), 32).total}n",
+                    f"{tomt_cost(32).total}n",
+                )
+                for name in library.names()
+            ],
+            title="Catalog sweep — every March test at b=32",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

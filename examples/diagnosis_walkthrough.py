@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Diagnosis: localizing and classifying a defect from a failing session.
+
+A transparent BIST session only says *pass/fail*; for repair (row/column
+replacement) or failure analysis the read log can say much more.  This
+walkthrough injects a spectrum of defects, runs the TWMarch session in
+record-collecting mode, and prints what the diagnosis engine concludes
+about each.
+
+Run:  python examples/diagnosis_walkthrough.py
+"""
+
+import random
+
+from repro import FaultyMemory, library, twm_transform
+from repro.analysis.diagnosis import diagnose_memory
+from repro.memory import (
+    AddressDecoderFault,
+    Cell,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+
+N_WORDS, WIDTH = 8, 8
+
+SCENARIOS = [
+    ("stuck-at-1 cell", [StuckAtFault(Cell(5, 3), 1)], None),
+    ("stuck-at-0 cell", [StuckAtFault(Cell(2, 6), 0)], None),
+    ("rising transition fault", [TransitionFault(Cell(4, 2), True)], 0xFF),
+    ("inversion coupling (inter-word)",
+     [InversionCouplingFault(Cell(2, 1), Cell(6, 1), rising=True)], None),
+    ("state coupling (intra-word)",
+     [StateCouplingFault(Cell(3, 0), Cell(3, 5), 1, 0)], None),
+    ("deceptive read disturb", [ReadDisturbFault(Cell(1, 4), True)], None),
+    ("dead address (decoder)", [AddressDecoderFault(3, "none")], None),
+    ("shorted addresses (decoder)", [AddressDecoderFault(1, "multi", 6)], None),
+]
+
+
+def main() -> None:
+    result = twm_transform(library.get("March C-"), WIDTH)
+    print(f"test: {result.twmarch.name} ({result.tcm} ops/word)\n")
+    for label, faults, fill in SCENARIOS:
+        memory = FaultyMemory(N_WORDS, WIDTH, faults)
+        if fill is None:
+            memory.randomize(random.Random(13))
+        else:
+            memory.fill(fill)
+        diagnosis = diagnose_memory(result.twmarch, memory)
+        truth = ", ".join(f.describe() for f in faults)
+        print(f"injected: {truth}")
+        print(diagnosis.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

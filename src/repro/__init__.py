@@ -1,0 +1,145 @@
+"""repro — reproduction of "An Efficient Transparent Test Scheme for
+Embedded Word-Oriented Memories" (Li, Tseng, Wey — DATE 2005).
+
+The package implements the paper's TWM_TA transformation (bit-oriented
+March test -> transparent word-oriented March test), the two prior-work
+baselines it compares against, and every substrate needed to evaluate
+them: a word-oriented memory simulator with the classic functional
+fault models, a two-phase transparent BIST datapath (MISR signature
+prediction and compare), an ECC substrate for the TOMT baseline, an
+online-testing scheduler, and fault-coverage campaign machinery.
+
+Quickstart::
+
+    from repro import library, twm_transform, TransparentBist, FaultyMemory
+
+    result = twm_transform(library.get("March C-"), width=32)
+    print(result.summary())          # TCM 35n, TCP 21n
+    print(result.twmarch)            # the transparent word test
+
+    memory = FaultyMemory(n_words=64, width=32)
+    bist = TransparentBist.from_twm(result)
+    outcome = bist.run(memory)
+    assert not outcome.detected and outcome.transparent
+"""
+
+from . import analysis, baselines, bist, core, ecc, library, memory
+from .analysis import (
+    compare_flow,
+    compare_reports,
+    intra_word_conditions,
+    pair_condition_coverage,
+    render_table,
+    run_campaign,
+    signature_flow,
+    state_sequence,
+    table1_rows,
+    two_cell_trace,
+)
+from .baselines import TomtBaseline, scheme1_transform, tomt_tcm, tomt_test
+from .bist import (
+    Misr,
+    OnlineTestScheduler,
+    TransparentBist,
+    random_workload,
+    read_stream,
+    run_march,
+)
+from .core import (
+    AddressOrder,
+    DataExpr,
+    MarchElement,
+    MarchTest,
+    Mask,
+    Op,
+    OpKind,
+    atmarch,
+    background_plan,
+    checkerboard,
+    headline_ratios,
+    nontransparent_word_reference,
+    parse_march,
+    prediction_test,
+    table2_rows,
+    table3_rows,
+    to_transparent,
+    twm_transform,
+    validate_transparent,
+)
+from .ecc import CodedMemory, HammingSEC, HammingSECDED, ParityCodec
+from .memory import (
+    Cell,
+    FaultyMemory,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    Memory,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+    standard_fault_universe,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressOrder",
+    "Cell",
+    "CodedMemory",
+    "DataExpr",
+    "FaultyMemory",
+    "HammingSEC",
+    "HammingSECDED",
+    "IdempotentCouplingFault",
+    "InversionCouplingFault",
+    "MarchElement",
+    "MarchTest",
+    "Mask",
+    "Memory",
+    "Misr",
+    "OnlineTestScheduler",
+    "Op",
+    "OpKind",
+    "ParityCodec",
+    "StateCouplingFault",
+    "StuckAtFault",
+    "TomtBaseline",
+    "TransitionFault",
+    "TransparentBist",
+    "analysis",
+    "atmarch",
+    "background_plan",
+    "baselines",
+    "bist",
+    "checkerboard",
+    "compare_flow",
+    "compare_reports",
+    "core",
+    "ecc",
+    "headline_ratios",
+    "intra_word_conditions",
+    "library",
+    "memory",
+    "nontransparent_word_reference",
+    "pair_condition_coverage",
+    "parse_march",
+    "prediction_test",
+    "random_workload",
+    "read_stream",
+    "render_table",
+    "run_campaign",
+    "run_march",
+    "scheme1_transform",
+    "signature_flow",
+    "state_sequence",
+    "standard_fault_universe",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "to_transparent",
+    "tomt_tcm",
+    "tomt_test",
+    "twm_transform",
+    "two_cell_trace",
+    "validate_transparent",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Analysis instruments: state graphs, coverage campaigns, tables."""
+
+from .coverage import (
+    CampaignReport,
+    ClassCoverage,
+    aliasing_flow,
+    compare_flow,
+    compare_reports,
+    run_campaign,
+    signature_flow,
+)
+from .diagnosis import (
+    CellObservation,
+    Diagnosis,
+    analyse_records,
+    diagnose_memory,
+)
+from .reports import percent, render_table
+from .states import (
+    IntraWordConditions,
+    PairConditionCoverage,
+    TwoCellEvent,
+    intra_word_conditions,
+    pair_condition_coverage,
+    state_sequence,
+    two_cell_trace,
+)
+from .symbolic import SymbolicRow, symbolic_rows, table1_rows
+
+__all__ = [
+    "CampaignReport",
+    "CellObservation",
+    "ClassCoverage",
+    "Diagnosis",
+    "IntraWordConditions",
+    "PairConditionCoverage",
+    "SymbolicRow",
+    "TwoCellEvent",
+    "aliasing_flow",
+    "analyse_records",
+    "compare_flow",
+    "compare_reports",
+    "diagnose_memory",
+    "intra_word_conditions",
+    "pair_condition_coverage",
+    "percent",
+    "render_table",
+    "run_campaign",
+    "signature_flow",
+    "state_sequence",
+    "symbolic_rows",
+    "table1_rows",
+    "two_cell_trace",
+]

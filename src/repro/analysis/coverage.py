@@ -1,0 +1,212 @@
+"""Fault-simulation campaigns and coverage reporting.
+
+A *flow* is a callable that, given a single fault, builds a fresh
+faulty memory, runs a detection procedure, and reports whether the
+fault was detected.  Campaigns sweep a fault universe (grouped by
+class) through a flow and tabulate per-class coverage — the instrument
+behind the paper's Section 5 coverage-equality theorem (benchmark E7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..bist.controller import TransparentBist
+from ..bist.executor import run_march
+from ..core.march import MarchTest
+from ..memory.faults import Fault
+from ..memory.injection import FaultyMemory
+
+Flow = Callable[[Fault], bool]
+
+
+@dataclass(frozen=True)
+class ClassCoverage:
+    """Detection statistics for one fault class."""
+
+    name: str
+    total: int
+    detected: int
+
+    @property
+    def missed(self) -> int:
+        return self.total - self.detected
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.detected / self.total if self.total else 100.0
+
+    def render(self) -> str:
+        return f"{self.name}: {self.detected}/{self.total} ({self.percent:.2f}%)"
+
+
+@dataclass
+class CampaignReport:
+    """Per-class coverage of one campaign."""
+
+    flow_name: str
+    classes: dict[str, ClassCoverage] = field(default_factory=dict)
+    undetected: dict[str, list[Fault]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(c.total for c in self.classes.values())
+
+    @property
+    def detected(self) -> int:
+        return sum(c.detected for c in self.classes.values())
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.detected / self.total if self.total else 100.0
+
+    def coverage_vector(self) -> dict[str, float]:
+        return {name: c.percent for name, c in self.classes.items()}
+
+    def render(self) -> str:
+        lines = [f"campaign: {self.flow_name}"]
+        for name in sorted(self.classes):
+            lines.append("  " + self.classes[name].render())
+        lines.append(
+            f"  overall: {self.detected}/{self.total} ({self.percent:.2f}%)"
+        )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    flow: Flow,
+    universe: dict[str, Sequence[Fault]],
+    *,
+    flow_name: str = "flow",
+    keep_undetected: int = 16,
+) -> CampaignReport:
+    """Simulate every fault in *universe* through *flow*."""
+    report = CampaignReport(flow_name)
+    for class_name, faults in universe.items():
+        detected = 0
+        missed: list[Fault] = []
+        for fault in faults:
+            if flow(fault):
+                detected += 1
+            elif len(missed) < keep_undetected:
+                missed.append(fault)
+        report.classes[class_name] = ClassCoverage(
+            class_name, len(faults), detected
+        )
+        if missed:
+            report.undetected[class_name] = missed
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Flow factories
+# ---------------------------------------------------------------------------
+
+
+def _initial_words(
+    n_words: int, width: int, initial: Sequence[int] | int | None, seed: int
+) -> list[int]:
+    if initial is None:
+        rng = random.Random(seed)
+        return [rng.randrange(1 << width) for _ in range(n_words)]
+    if isinstance(initial, int):
+        return [initial & ((1 << width) - 1)] * n_words
+    return list(initial)
+
+
+def compare_flow(
+    test: MarchTest,
+    n_words: int,
+    width: int,
+    *,
+    initial: Sequence[int] | int | None = None,
+    seed: int = 0,
+    derive_writes: bool = True,
+) -> Flow:
+    """Alias-free detection: any read differing from the fault-free
+    value counts as detection.
+
+    ``initial`` sets the memory content before injection (an int fills
+    uniformly, ``None`` draws random content — the realistic transparent
+    scenario).  The reference snapshot for expected values is taken
+    *after* injection, exactly what a transparent BIST observes.
+    """
+    words = _initial_words(n_words, width, initial, seed)
+
+    def flow(fault: Fault) -> bool:
+        memory = FaultyMemory(n_words, width, [fault])
+        memory.load(words)
+        result = run_march(
+            test,
+            memory,
+            stop_on_mismatch=True,
+            derive_writes=derive_writes,
+        )
+        return result.detected
+
+    return flow
+
+
+def signature_flow(
+    test: MarchTest,
+    prediction: MarchTest,
+    n_words: int,
+    width: int,
+    *,
+    misr_width: int = 16,
+    initial: Sequence[int] | int | None = None,
+    seed: int = 0,
+) -> Flow:
+    """Realistic two-phase transparent BIST detection (MISR compare,
+    aliasing possible)."""
+    words = _initial_words(n_words, width, initial, seed)
+    controller = TransparentBist(test, prediction, misr_width=misr_width)
+
+    def flow(fault: Fault) -> bool:
+        memory = FaultyMemory(n_words, width, [fault])
+        memory.load(words)
+        return controller.run(memory).detected
+
+    return flow
+
+
+def aliasing_flow(
+    test: MarchTest,
+    prediction: MarchTest,
+    n_words: int,
+    width: int,
+    *,
+    misr_width: int = 16,
+    initial: Sequence[int] | int | None = None,
+    seed: int = 0,
+) -> Callable[[Fault], tuple[bool, bool]]:
+    """Like :func:`signature_flow` but returns ``(stream, signature)``
+    detection flags so aliasing events can be counted."""
+    words = _initial_words(n_words, width, initial, seed)
+    controller = TransparentBist(test, prediction, misr_width=misr_width)
+
+    def flow(fault: Fault) -> tuple[bool, bool]:
+        memory = FaultyMemory(n_words, width, [fault])
+        memory.load(words)
+        outcome = controller.run(memory)
+        return outcome.stream_detected, outcome.detected
+
+    return flow
+
+
+def compare_reports(
+    a: CampaignReport, b: CampaignReport
+) -> list[tuple[str, float, float, float]]:
+    """Per-class coverage delta between two campaigns.
+
+    Rows are ``(class, a%, b%, a% - b%)`` over the classes the reports
+    share; used to check the Section 5 equality claim.
+    """
+    rows = []
+    for name in sorted(set(a.classes) & set(b.classes)):
+        pa = a.classes[name].percent
+        pb = b.classes[name].percent
+        rows.append((name, pa, pb, pa - pb))
+    return rows

@@ -1,0 +1,42 @@
+"""Plain-text table rendering shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A boxed ASCII table; every cell is str()-rendered."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line("="))
+    out.append(fmt(list(headers)))
+    out.append(line("="))
+    for row in cells:
+        out.append(fmt(row))
+    out.append(line("-"))
+    return "\n".join(out)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,234 @@
+"""Two-cell state analysis — the machinery behind the paper's Figure 1.
+
+Figure 1(a) shows all fault-free states of two arbitrary cells ``i``
+(lower address) and ``j`` (higher address) and the read/write
+transitions a 100 %-CF March test must exercise; executing March C−
+traverses the full sequence 1..18.  Figure 1(b) shows the joint states
+of two bits *within* a word and the write/read conditions a
+word-oriented test needs for intra-word CF coverage.
+
+This module replays a March test on a tiny two-cell (or one-word)
+memory and extracts:
+
+* the visited state/operation sequence (regenerates Fig. 1(a));
+* the CF activation-observation conditions covered for an ordered
+  aggressor/victim pair (the theory behind the Section 5 coverage
+  claims);
+* the intra-word write/read pattern conditions per bit pair
+  (regenerates Fig. 1(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.march import MarchTest
+
+
+@dataclass(frozen=True)
+class TwoCellEvent:
+    """One operation applied to one of the two observed cells."""
+
+    step: int
+    cell: str  # "i" (lower address) or "j" (higher address)
+    kind: str  # "r" or "w"
+    value: int  # value read or written (fault-free)
+    state: tuple[int, int]  # (v_i, v_j) after the operation
+
+    def label(self) -> str:
+        return f"{self.kind}{self.value}[{self.cell}]"
+
+
+def two_cell_trace(
+    test: MarchTest, *, initial: tuple[int, int] = (0, 0)
+) -> list[TwoCellEvent]:
+    """Replay *test* on a fault-free two-cell memory.
+
+    Cell ``i`` is address 0, cell ``j`` is address 1.  Both solid and
+    transparent bit-oriented tests are supported (transparent data is
+    resolved against *initial*).
+    """
+    values = {0: initial[0], 1: initial[1]}
+    names = {0: "i", 1: "j"}
+    events: list[TwoCellEvent] = []
+    step = 1
+    for element in test.elements:
+        for addr in element.order.addresses(2):
+            for op in element.ops:
+                if op.data.relative:
+                    value = initial[addr] ^ op.data.mask.resolve(1)
+                else:
+                    value = op.data.mask.resolve(1)
+                if op.is_write:
+                    values[addr] = value & 1
+                events.append(
+                    TwoCellEvent(
+                        step,
+                        names[addr],
+                        op.kind.value,
+                        value & 1,
+                        (values[0], values[1]),
+                    )
+                )
+                step += 1
+    return events
+
+
+def state_sequence(events: list[TwoCellEvent]) -> list[tuple[int, int]]:
+    """The joint-state sequence visited by the trace."""
+    return [e.state for e in events]
+
+
+@dataclass
+class PairConditionCoverage:
+    """CF activation/observation conditions covered by a two-cell trace.
+
+    Conditions are recorded for both aggressor choices:
+
+    * ``cfid`` — tuples ``(aggressor, transition, victim_state)``; the
+      condition covers CFid<transition; forced = 1 - victim_state> (a
+      forcing to the victim's current value is invisible);
+    * ``cfin`` — tuples ``(aggressor, transition)``;
+    * ``cfst`` — tuples ``(aggressor, aggressor_state, victim_expected)``;
+      covers CFst<aggressor_state; forced = 1 - victim_expected>.
+
+    ``transition`` is "up" or "down".  Full coverage is 8 ``cfid``
+    tuples, 4 ``cfin`` tuples and 8 ``cfst`` tuples.
+    """
+
+    cfid: set[tuple[str, str, int]] = field(default_factory=set)
+    cfin: set[tuple[str, str]] = field(default_factory=set)
+    cfst: set[tuple[str, int, int]] = field(default_factory=set)
+
+    @property
+    def cfid_complete(self) -> bool:
+        return len(self.cfid) == 8
+
+    @property
+    def cfin_complete(self) -> bool:
+        return len(self.cfin) == 4
+
+    @property
+    def cfst_complete(self) -> bool:
+        return len(self.cfst) == 8
+
+    @property
+    def complete(self) -> bool:
+        return self.cfid_complete and self.cfin_complete and self.cfst_complete
+
+
+def pair_condition_coverage(events: list[TwoCellEvent]) -> PairConditionCoverage:
+    """Extract covered CF conditions from a two-cell trace.
+
+    An *activation* (aggressor transition while the victim holds a
+    state) counts as covered only if the victim is read before its next
+    write — otherwise the fault effect would be overwritten unobserved.
+    Similarly a CFst condition is covered by a read of the victim while
+    the aggressor holds a state.
+    """
+    coverage = PairConditionCoverage()
+    other = {"i": "j", "j": "i"}
+    # Pending activations waiting for a victim read: victim -> conditions.
+    pending_id: dict[str, set[tuple[str, str, int]]] = {"i": set(), "j": set()}
+    pending_in: dict[str, set[tuple[str, str]]] = {"i": set(), "j": set()}
+    # Cell values become known at a cell's first write (or read).
+    values: dict[str, int | None] = {"i": None, "j": None}
+    for event in events:
+        if event.kind == "w":
+            old = values[event.cell]
+            new = event.value
+            victim = other[event.cell]
+            victim_value = values[victim]
+            if old is not None and victim_value is not None and old != new:
+                transition = "up" if new == 1 else "down"
+                pending_id[victim].add((event.cell, transition, victim_value))
+                pending_in[victim].add((event.cell, transition))
+            values[event.cell] = new
+            # A write to a cell overwrites any unobserved activation on it.
+            pending_id[event.cell].clear()
+            pending_in[event.cell].clear()
+        else:
+            cell = event.cell
+            values[cell] = event.value
+            # A read of `cell` observes pending activations targeting it.
+            coverage.cfid.update(pending_id[cell])
+            coverage.cfin.update(pending_in[cell])
+            pending_id[cell].clear()
+            pending_in[cell].clear()
+            aggressor = other[cell]
+            aggr_value = values[aggressor]
+            if aggr_value is not None:
+                coverage.cfst.add((aggressor, aggr_value, event.value))
+    return coverage
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(b): intra-word bit-pair write/read conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntraWordConditions:
+    """Write-then-read pattern conditions per ordered bit pair.
+
+    ``covered[(i, j)]`` is the set of joint patterns ``(p_i, p_j)``
+    that some word write established and a subsequent read observed
+    before the next write.  Full Figure 1(b) coverage is all four
+    patterns; a word test built from solid backgrounds alone covers only
+    ``(0,0)`` and ``(1,1)`` — the checkerboard backgrounds contribute
+    the mixed patterns.
+    """
+
+    width: int
+    covered: dict[tuple[int, int], set[tuple[int, int]]] = field(
+        default_factory=dict
+    )
+
+    def pairs_with(self, n_patterns: int) -> int:
+        return sum(1 for pats in self.covered.values() if len(pats) >= n_patterns)
+
+    @property
+    def all_pairs_full(self) -> bool:
+        return all(len(p) == 4 for p in self.covered.values())
+
+    def missing(self) -> dict[tuple[int, int], set[tuple[int, int]]]:
+        full = {(0, 0), (0, 1), (1, 0), (1, 1)}
+        return {
+            pair: full - pats
+            for pair, pats in self.covered.items()
+            if pats != full
+        }
+
+
+def intra_word_conditions(
+    test: MarchTest, width: int, *, initial: int = 0
+) -> IntraWordConditions:
+    """Replay *test* on a single word and extract Fig. 1(b) conditions.
+
+    Transparent data is resolved against *initial* (the theorem's
+    conditions are relative to the resident data; ``initial=0`` gives
+    the absolute view used in the paper's figure).
+    """
+    result = IntraWordConditions(width)
+    for i in range(width):
+        for j in range(width):
+            if i != j:
+                result.covered[(i, j)] = set()
+    content = initial
+    pending: int | None = None  # written word awaiting its read
+    for element in test.elements:
+        for op in element.ops:
+            value = op.data.evaluate(initial, width) if op.data.relative else (
+                op.data.mask.resolve(width)
+            )
+            if op.is_write:
+                content = value
+                pending = value
+            else:
+                # Read observes the current content.
+                if pending is not None:
+                    word = pending
+                    for (i, j), pats in result.covered.items():
+                        pats.add(((word >> i) & 1, (word >> j) & 1))
+                    pending = None
+    return result

@@ -1,0 +1,71 @@
+"""Symbolic word-content tracking — regenerates the paper's Table 1.
+
+Table 1 lists the content of one word (bits ``a7 .. a0`` for an 8-bit
+memory) after each operation of the first three ATMarch elements.  The
+content of a transparent test is always ``c ^ mask`` for some pattern
+mask, so a bit is either ``a_j`` or its complement; this module renders
+that evolution without committing to concrete data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.march import MarchTest
+from ..core.ops import Mask, Op
+
+
+@dataclass(frozen=True)
+class SymbolicRow:
+    """One operation of a transparent test with the content after it."""
+
+    element_index: int
+    op: Op
+    content_mask: Mask
+
+    def content_bits(self, width: int, symbol: str = "a") -> list[str]:
+        """Bit-wise rendering, MSB first: ``a7`` or ``~a7`` etc."""
+        mask = self.content_mask.resolve(width)
+        bits = []
+        for j in range(width - 1, -1, -1):
+            inverted = (mask >> j) & 1
+            bits.append(f"~{symbol}{j}" if inverted else f"{symbol}{j}")
+        return bits
+
+    def content_string(self, width: int, symbol: str = "a") -> str:
+        return " ".join(self.content_bits(width, symbol))
+
+
+def symbolic_rows(
+    test: MarchTest,
+    *,
+    elements: slice | None = None,
+    start_mask: Mask = Mask.ZERO,
+) -> list[SymbolicRow]:
+    """Symbolic content after each op of a transparent test (one word).
+
+    ``elements`` restricts the view (e.g. ``slice(0, 3)`` for the first
+    three march elements as in Table 1); ``start_mask`` is the content
+    entering the first selected element, relative to ``c``.
+    """
+    if not test.is_transparent_form:
+        raise ValueError("symbolic tracking is defined for transparent tests")
+    selected = test.elements[elements] if elements is not None else test.elements
+    offset = 0
+    if elements is not None:
+        offset = elements.indices(len(test.elements))[0]
+    rows: list[SymbolicRow] = []
+    current = start_mask
+    for index, element in enumerate(selected):
+        for op in element.ops:
+            if op.is_write:
+                current = op.data.mask
+            rows.append(SymbolicRow(offset + index, op, current))
+    return rows
+
+
+def table1_rows(atmarch: MarchTest, width: int = 8) -> list[tuple[str, str]]:
+    """The paper's Table 1: (operation, word content) for the first
+    three ATMarch elements of a *width*-bit word."""
+    rows = symbolic_rows(atmarch, elements=slice(0, 3))
+    return [(str(row.op), row.content_string(width)) for row in rows]

@@ -1,0 +1,31 @@
+"""Prior-work baselines: Scheme 1 (Nicolaidis [12]) and TOMT [13]."""
+
+from .scheme1 import (
+    Scheme1Result,
+    scheme1_formula_tcm,
+    scheme1_formula_tcp,
+    scheme1_transform,
+)
+from .tomt import (
+    TOMT_EXTRA_OPS,
+    TOMT_OPS_PER_BIT,
+    TomtBaseline,
+    TomtOutcome,
+    plain_memory_tomt,
+    tomt_tcm,
+    tomt_test,
+)
+
+__all__ = [
+    "Scheme1Result",
+    "TOMT_EXTRA_OPS",
+    "TOMT_OPS_PER_BIT",
+    "TomtBaseline",
+    "TomtOutcome",
+    "plain_memory_tomt",
+    "scheme1_formula_tcm",
+    "scheme1_formula_tcp",
+    "scheme1_transform",
+    "tomt_tcm",
+    "tomt_test",
+]

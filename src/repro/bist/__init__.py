@@ -1,0 +1,53 @@
+"""BIST substrate: execution, signature compaction, online scheduling."""
+
+from .controller import BistOutcome, TransparentBist
+from .executor import (
+    ExecutionError,
+    ReadRecord,
+    RunResult,
+    read_stream,
+    run_march,
+    transparent_writes_derivable,
+)
+from .lfsr import Lfsr, parity, tap_mask
+from .misr import Misr, signature_of
+from .scheduler import (
+    OnlineTestScheduler,
+    SchedulerReport,
+    random_workload,
+)
+from .symmetry import (
+    DependenceReport,
+    SymmetricBist,
+    XorAccumulator,
+    content_dependence,
+    is_symmetric,
+    reference_signature,
+    symmetrize,
+)
+
+__all__ = [
+    "BistOutcome",
+    "DependenceReport",
+    "ExecutionError",
+    "Lfsr",
+    "Misr",
+    "OnlineTestScheduler",
+    "ReadRecord",
+    "RunResult",
+    "SchedulerReport",
+    "SymmetricBist",
+    "TransparentBist",
+    "XorAccumulator",
+    "content_dependence",
+    "is_symmetric",
+    "parity",
+    "random_workload",
+    "read_stream",
+    "reference_signature",
+    "run_march",
+    "signature_of",
+    "symmetrize",
+    "tap_mask",
+    "transparent_writes_derivable",
+]

@@ -1,0 +1,109 @@
+"""Two-phase transparent BIST controller.
+
+Phase 1 (*signature prediction*) runs the read-only prediction test;
+every raw read is XOR-corrected with the operation's pattern before
+entering the MISR, so the register accumulates the signature the test
+phase is expected to produce on a fault-free memory.  Phase 2 runs the
+transparent test itself, feeding raw read data to a second MISR.  A
+fault is signalled when the two signatures differ.
+
+The controller also evaluates the alias-free *compare* oracle alongside,
+which lets experiments measure MISR aliasing directly (a fault that
+perturbs the read stream but leaves the signature unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.march import MarchTest
+from ..core.signature import prediction_test
+from ..core.twm import TWMResult
+from ..memory.model import Memory, words_equal
+from .executor import run_march
+from .misr import Misr
+
+
+@dataclass(frozen=True)
+class BistOutcome:
+    """Result of one two-phase transparent BIST session."""
+
+    predicted_signature: int
+    test_signature: int
+    stream_mismatches: int
+    prediction_reads: int
+    test_ops: int
+    transparent: bool
+
+    @property
+    def detected(self) -> bool:
+        """Fault signalled by the signature comparison."""
+        return self.predicted_signature != self.test_signature
+
+    @property
+    def stream_detected(self) -> bool:
+        """Fault visible to the ideal (alias-free) compare oracle."""
+        return self.stream_mismatches > 0
+
+    @property
+    def aliased(self) -> bool:
+        """The read stream was wrong but the signatures collided."""
+        return self.stream_detected and not self.detected
+
+
+class TransparentBist:
+    """Reusable two-phase controller for a transparent test pair."""
+
+    def __init__(
+        self,
+        test: MarchTest,
+        prediction: MarchTest | None = None,
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> None:
+        if not test.is_transparent_form:
+            raise ValueError(
+                f"{test.name} is not transparent; the controller runs "
+                "transparent tests only"
+            )
+        self.test = test
+        self.prediction = (
+            prediction if prediction is not None else prediction_test(test)
+        )
+        self.misr_width = misr_width
+        self.misr_seed = misr_seed
+
+    @classmethod
+    def from_twm(cls, result: TWMResult, **kwargs) -> "TransparentBist":
+        """Controller for a TWM_TA transformation result."""
+        return cls(result.twmarch, result.prediction, **kwargs)
+
+    def run(self, memory: Memory) -> BistOutcome:
+        """Run prediction then test on *memory* and compare signatures."""
+        snapshot = memory.snapshot()
+
+        predict_misr = Misr(self.misr_width, self.misr_seed)
+        predict_run = run_march(
+            self.prediction,
+            memory,
+            snapshot=snapshot,
+            read_sink=lambda rec: predict_misr.absorb(rec.raw ^ rec.mask_value),
+        )
+
+        test_misr = Misr(self.misr_width, self.misr_seed)
+        test_run = run_march(
+            self.test,
+            memory,
+            snapshot=snapshot,
+            read_sink=lambda rec: test_misr.absorb(rec.raw),
+        )
+
+        return BistOutcome(
+            predicted_signature=predict_misr.signature,
+            test_signature=test_misr.signature,
+            stream_mismatches=test_run.n_mismatches,
+            prediction_reads=predict_run.n_reads,
+            test_ops=test_run.ops_executed,
+            transparent=words_equal(memory.snapshot(), snapshot),
+        )

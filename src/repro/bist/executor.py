@@ -1,0 +1,187 @@
+"""March-test execution against a memory model.
+
+The executor implements *operational* transparent semantics: the data of
+a content-relative write is computed from the most recent read of the
+same element-visit (raw read value XOR the pattern difference), exactly
+as the BIST hardware's XOR network derives write-back data from read
+data.  On a faulty memory this faithfully propagates wrong read data
+into subsequent writes — a first-order effect of transparent testing
+that expected-value shortcuts would miss.
+
+Detection oracles:
+
+* *compare mode* — every read is checked against the value the
+  fault-free test would produce given the memory content at test start
+  (this equals an alias-free two-phase signature session, see
+  :mod:`repro.bist.controller`);
+* *signature mode* — the controller runs the prediction and test
+  phases through a real MISR and compares signatures (aliasing
+  possible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.march import MarchTest
+from ..core.ops import Op
+from ..memory.model import Memory
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a test is not executable on the given memory."""
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One read observation during a march run."""
+
+    op_index: int
+    element_index: int
+    addr: int
+    raw: int
+    expected: int
+    mask_value: int
+
+    @property
+    def mismatch(self) -> bool:
+        return self.raw != self.expected
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a march test."""
+
+    ops_executed: int = 0
+    n_reads: int = 0
+    n_mismatches: int = 0
+    records: list[ReadRecord] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def detected(self) -> bool:
+        """True when at least one read disagreed with the fault-free value."""
+        return self.n_mismatches > 0
+
+
+ReadSink = Callable[[ReadRecord], None]
+
+
+def run_march(
+    test: MarchTest,
+    memory: Memory,
+    *,
+    snapshot: Sequence[int] | None = None,
+    collect: bool = False,
+    stop_on_mismatch: bool = False,
+    read_sink: ReadSink | None = None,
+    derive_writes: bool = True,
+) -> RunResult:
+    """Execute *test* on *memory*.
+
+    ``snapshot`` is the reference initial content used to compute
+    expected read values for content-relative operations; by default the
+    memory content at call time.  With ``collect=True`` every read is
+    recorded; ``stop_on_mismatch`` aborts at the first failing read
+    (useful for large fault campaigns); ``read_sink`` receives every
+    read record (e.g. to feed a MISR).
+
+    ``derive_writes`` selects the write datapath for content-relative
+    writes: ``True`` (default) is the operational BIST semantics — the
+    write value is computed from the most recent read of the same
+    element-visit; ``False`` is an idealised oracle that writes the
+    fault-free value ``snapshot[addr] ^ mask``.  The oracle mode makes a
+    transparent run the exact XOR image of the corresponding
+    non-transparent run, which the Section 5 coverage-equality
+    experiment relies on.
+    """
+    width = memory.width
+    initial = list(snapshot) if snapshot is not None else memory.snapshot()
+    if len(initial) != memory.n_words:
+        raise ExecutionError("snapshot length does not match memory size")
+
+    result = RunResult()
+    op_index = 0
+    for element_index, element in enumerate(test.elements):
+        resolved = [
+            (op, op.data.mask.resolve(width)) for op in element.ops
+        ]
+        for addr in element.order.addresses(memory.n_words):
+            last_raw: int | None = None
+            last_mask: int | None = None
+            for op, mask_value in resolved:
+                if op.is_read:
+                    raw = memory.read(addr)
+                    expected = _expected(op, mask_value, initial[addr])
+                    record = ReadRecord(
+                        op_index, element_index, addr, raw, expected, mask_value
+                    )
+                    result.n_reads += 1
+                    if record.mismatch:
+                        result.n_mismatches += 1
+                    if collect:
+                        result.records.append(record)
+                    if read_sink is not None:
+                        read_sink(record)
+                    last_raw, last_mask = raw, mask_value
+                    result.ops_executed += 1
+                    if record.mismatch and stop_on_mismatch:
+                        result.stopped_early = True
+                        return result
+                else:
+                    if op.is_relative and derive_writes:
+                        if last_raw is None or last_mask is None:
+                            raise ExecutionError(
+                                f"{test.name}: transparent write {op} at element "
+                                f"{element_index} has no preceding read in its "
+                                "element-visit; the BIST datapath cannot derive "
+                                "its data"
+                            )
+                        value = last_raw ^ last_mask ^ mask_value
+                    elif op.is_relative:
+                        value = initial[addr] ^ mask_value
+                    else:
+                        value = mask_value
+                    memory.write(addr, value)
+                    result.ops_executed += 1
+                op_index += 1
+    return result
+
+
+def _expected(op: Op, mask_value: int, initial_word: int) -> int:
+    if op.is_relative:
+        return initial_word ^ mask_value
+    return mask_value
+
+
+def transparent_writes_derivable(test: MarchTest) -> bool:
+    """Static check of the executor's write-derivation requirement.
+
+    True when every content-relative write is preceded by a read within
+    its own element (so the XOR network always has read data to work
+    from).  All tests produced by the library's transformations satisfy
+    this by construction.
+    """
+    for element in test.elements:
+        seen_read = False
+        for op in element.ops:
+            if op.is_read:
+                seen_read = True
+            elif op.is_relative and not seen_read:
+                return False
+    return True
+
+
+def read_stream(
+    test: MarchTest, memory: Memory, *, snapshot: Sequence[int] | None = None
+) -> list[int]:
+    """The raw read-data stream of executing *test* on *memory*."""
+    stream: list[int] = []
+    run_march(
+        test,
+        memory,
+        snapshot=snapshot,
+        read_sink=lambda rec: stream.append(rec.raw),
+    )
+    return stream

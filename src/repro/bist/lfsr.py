@@ -1,0 +1,104 @@
+"""Linear-feedback shift register primitives for the BIST datapath.
+
+The tap table lists one maximal-length (primitive-polynomial) tap set
+per register width, following the classic Xilinx XAPP052 table.  These
+feed the MISR signature analyser and can also serve as pseudo-random
+pattern/address generators in BIST experiments.
+"""
+
+from __future__ import annotations
+
+# width -> tap positions (1-based, tap n is the MSB) of a maximal LFSR.
+TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+    33: (33, 20),
+    34: (34, 27, 2, 1),
+    35: (35, 33),
+    36: (36, 25),
+    40: (40, 38, 21, 19),
+    48: (48, 47, 21, 20),
+    56: (56, 55, 35, 34),
+    64: (64, 63, 61, 60),
+}
+
+
+def tap_mask(width: int) -> int:
+    """Bit mask of the feedback taps for *width* (0-based bit positions)."""
+    if width == 1:
+        return 1
+    if width not in TAPS:
+        known = ", ".join(str(w) for w in sorted(TAPS))
+        raise ValueError(f"no tap set for width {width}; known widths: 1, {known}")
+    mask = 0
+    for tap in TAPS[width]:
+        mask |= 1 << (tap - 1)
+    return mask
+
+
+def parity(value: int) -> int:
+    """Parity (XOR reduction) of an arbitrary-size integer."""
+    return value.bit_count() & 1
+
+
+class Lfsr:
+    """A Fibonacci LFSR with a maximal-length tap set."""
+
+    def __init__(self, width: int, seed: int = 1) -> None:
+        if width < 1:
+            raise ValueError("LFSR width must be >= 1")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.taps = tap_mask(width)
+        seed &= self.mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one cycle and return the new state."""
+        feedback = parity(self.state & self.taps)
+        self.state = ((self.state << 1) & self.mask) | feedback
+        return self.state
+
+    def run(self, cycles: int) -> list[int]:
+        """The next *cycles* states."""
+        return [self.step() for _ in range(cycles)]
+
+    def period(self, limit: int | None = None) -> int:
+        """Cycle length from the current state (maximal sets give 2^w - 1)."""
+        start = self.state
+        bound = limit if limit is not None else (1 << self.width)
+        for count in range(1, bound + 1):
+            if self.step() == start:
+                return count
+        raise RuntimeError("period not found within limit")

@@ -1,0 +1,71 @@
+"""Multiple-input signature register (MISR) for test-response compaction.
+
+A transparent BIST session compares the signature produced by the test
+phase against the one computed by the signature-prediction phase; the
+MISR compacts the read stream into a ``width``-bit signature with an
+aliasing probability of about ``2**-width`` for random error patterns.
+"""
+
+from __future__ import annotations
+
+from .lfsr import parity, tap_mask
+
+
+class Misr:
+    """A parallel-input signature register over GF(2).
+
+    Input words wider than the register are folded by XOR-ing
+    ``width``-bit chunks, which preserves the linearity of the
+    compaction (hardware space compactors do the same).
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0) -> None:
+        if width < 1:
+            raise ValueError("MISR width must be >= 1")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.taps = tap_mask(width)
+        self._seed = seed & self.mask
+        self.state = self._seed
+        self.absorbed = 0
+
+    def fold(self, value: int) -> int:
+        """Fold an arbitrarily wide input into ``width`` bits."""
+        folded = 0
+        value &= (1 << max(value.bit_length(), 1)) - 1
+        while value:
+            folded ^= value & self.mask
+            value >>= self.width
+        return folded
+
+    def absorb(self, value: int) -> None:
+        """Clock one input word into the register."""
+        feedback = parity(self.state & self.taps)
+        self.state = (((self.state << 1) & self.mask) | feedback) ^ self.fold(value)
+        self.absorbed += 1
+
+    def absorb_all(self, values) -> None:
+        for value in values:
+            self.absorb(value)
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    def reset(self) -> None:
+        self.state = self._seed
+        self.absorbed = 0
+
+    def spawn(self) -> "Misr":
+        """A fresh register with identical configuration."""
+        return Misr(self.width, self._seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Misr(width={self.width}, signature={self.state:#x})"
+
+
+def signature_of(values, width: int = 16, seed: int = 0) -> int:
+    """Convenience: the signature of an iterable of input words."""
+    misr = Misr(width, seed)
+    misr.absorb_all(values)
+    return misr.signature

@@ -1,0 +1,301 @@
+"""Symmetric transparent BIST (Yarmolik & Hellebrand, DATE 1999 — the
+paper's reference [18]).
+
+The two-phase schemes this repository centres on spend ``TCP`` reads on
+signature *prediction*.  The symmetric methodology removes that phase:
+if the fault-free signature of the transparent test is **independent of
+the memory content**, it can be precomputed once, and a session is just
+the test phase plus one compare.
+
+Content independence is a property of the (test, compactor) pair.
+Because every compactor here is linear over GF(2), the fault-free
+signature is an affine function of the content bits::
+
+    S(c) = S0  XOR  (+) { A[w][j] : bit j of word w is 1 }
+
+and the test is *symmetric* iff every ``A[w][j]`` is zero.  This module
+computes the dependence matrix by basis simulation, checks symmetry,
+and implements the classic symmetrization for the order-insensitive
+XOR-accumulator compactor: each word's reads contribute
+``(count mod 2) * c_w XOR (XOR of read masks)``, so appending one
+``⇕(rc)`` element when the per-word read count is odd makes the
+signature constant.  (With a shifting MISR the time position of every
+read matters and [18] instead co-designs the register; the dependence
+matrix makes that precise — see the A4 benchmark.)
+
+The trade-off is aliasing: an XOR accumulator is order-insensitive and
+masks even-multiplicity errors, which the benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.element import AddressOrder, MarchElement
+from ..core.march import MarchTest
+from ..core.ops import DataExpr, Mask, Op
+from ..memory.model import Memory
+from .executor import run_march
+from .misr import Misr
+
+
+class XorAccumulator:
+    """Order-insensitive linear compactor: the XOR of all inputs.
+
+    Same interface as :class:`~repro.bist.misr.Misr`; folding of wide
+    inputs matches the MISR's behaviour.
+    """
+
+    def __init__(self, width: int = 16, seed: int = 0) -> None:
+        if width < 1:
+            raise ValueError("accumulator width must be >= 1")
+        self.width = width
+        self.mask = (1 << width) - 1
+        self._seed = seed & self.mask
+        self.state = self._seed
+        self.absorbed = 0
+
+    def fold(self, value: int) -> int:
+        folded = 0
+        while value:
+            folded ^= value & self.mask
+            value >>= self.width
+        return folded
+
+    def absorb(self, value: int) -> None:
+        self.state ^= self.fold(value)
+        self.absorbed += 1
+
+    def absorb_all(self, values) -> None:
+        for value in values:
+            self.absorb(value)
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    def reset(self) -> None:
+        self.state = self._seed
+        self.absorbed = 0
+
+    def spawn(self) -> "XorAccumulator":
+        return XorAccumulator(self.width, self._seed)
+
+
+@dataclass(frozen=True)
+class DependenceReport:
+    """Content dependence of a transparent test's fault-free signature."""
+
+    base_signature: int
+    dependence: dict[tuple[int, int], int]  # (word, bit) -> signature delta
+
+    @property
+    def symmetric(self) -> bool:
+        return not self.dependence
+
+    @property
+    def dependent_cells(self) -> int:
+        return len(self.dependence)
+
+
+def _fault_free_signature(
+    test: MarchTest, n_words: int, width: int, content: list[int], compactor
+) -> int:
+    memory = Memory(n_words, width)
+    memory.load(content)
+    sink = compactor.spawn()
+    run_march(test, memory, read_sink=lambda rec: sink.absorb(rec.raw))
+    return sink.signature
+
+
+def content_dependence(
+    test: MarchTest,
+    n_words: int,
+    width: int,
+    compactor=None,
+) -> DependenceReport:
+    """Compute the GF(2) dependence of the signature on every content bit.
+
+    By linearity, ``A[w][j] = S(e_wj) XOR S(0)`` where ``e_wj`` is the
+    content with only bit ``j`` of word ``w`` set — one fault-free
+    simulation per cell plus one for the base.
+    """
+    if not test.is_transparent_form:
+        raise ValueError("content dependence is defined for transparent tests")
+    compactor = compactor if compactor is not None else Misr(16)
+    zero = [0] * n_words
+    base = _fault_free_signature(test, n_words, width, zero, compactor)
+    dependence: dict[tuple[int, int], int] = {}
+    for w in range(n_words):
+        for j in range(width):
+            content = list(zero)
+            content[w] = 1 << j
+            sig = _fault_free_signature(test, n_words, width, content, compactor)
+            if sig != base:
+                dependence[(w, j)] = sig ^ base
+    return DependenceReport(base, dependence)
+
+
+def is_symmetric(
+    test: MarchTest, n_words: int, width: int, compactor=None
+) -> bool:
+    """True when the fault-free signature is content-independent."""
+    return content_dependence(test, n_words, width, compactor).symmetric
+
+
+def reads_per_word(test: MarchTest) -> int:
+    """Reads each word receives in one run (uniform for March tests)."""
+    return test.n_reads
+
+
+def symmetrize(test: MarchTest, lanes: int = 1) -> MarchTest:
+    """Make *test* symmetric under a *lanes*-way interleaved compactor.
+
+    With an order-insensitive XOR compactor (``lanes=1``), word ``w``
+    contributes ``(Q_w mod 2) * c_w XOR (XOR of its read masks)`` to the
+    signature, so an even per-word read count cancels the content term.
+    A lane compactor routes each word's ``k``-th read to lane
+    ``k mod lanes``; the content cancels iff every lane receives an even
+    number of the word's reads, i.e. the per-word read count is a
+    multiple of ``2 * lanes``.  March tests read every word the same
+    number of times with the same masks, so appending ``⇕(rc)`` read
+    elements until that multiple is reached symmetrizes any transparent
+    March test (at most ``2*lanes - 1`` extra reads).  Returns *test*
+    unchanged when already balanced.
+    """
+    if not test.is_transparent_form:
+        raise ValueError("symmetrization applies to transparent tests")
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    modulus = 2 * lanes
+    deficit = (-reads_per_word(test)) % modulus
+    if deficit == 0:
+        return test
+    balance = MarchElement(
+        AddressOrder.ANY, (Op.read(DataExpr(True, Mask.ZERO)),)
+    )
+    return MarchTest(
+        f"{test.name} (symmetric/{lanes})",
+        test.elements + (balance,) * deficit,
+        notes=f"{test.notes} + {deficit} balancing reads for "
+        "symmetric BIST".strip(),
+    )
+
+
+def reference_signature(
+    test: MarchTest, n_words: int, width: int, compactor=None
+) -> int:
+    """The content-independent fault-free signature of a symmetric test.
+
+    Raises ``ValueError`` if the test is not symmetric under the given
+    compactor (the reference would then be content-dependent and
+    useless).
+    """
+    compactor = compactor if compactor is not None else XorAccumulator(16)
+    report = content_dependence(test, n_words, width, compactor)
+    if not report.symmetric:
+        raise ValueError(
+            f"{test.name} is not symmetric: {report.dependent_cells} "
+            "content bits leak into the signature"
+        )
+    return report.base_signature
+
+
+class SymmetricBist:
+    """Single-phase transparent BIST with a lane-interleaved compactor.
+
+    Each word's ``k``-th read is XOR-folded into lane ``k mod lanes``,
+    so the signature is a tuple of lane values.  With the per-word read
+    count padded to a multiple of ``2*lanes`` (see :func:`symmetrize`)
+    the fault-free signature is content-independent: it is computed
+    once at construction (and verified against basis contents) and a
+    session is just the test phase plus one compare — no prediction
+    pass, mirroring TOMT's "no TCP" column in Table 2 but with a
+    signature instead of an ECC checker.
+
+    ``lanes=1`` degenerates to the plain XOR accumulator, whose
+    even-multiplicity masking the A4 benchmark quantifies; ``lanes=3``
+    (default) breaks the systematic cancellation at the cost of a
+    3x-wide signature.
+    """
+
+    def __init__(
+        self,
+        test: MarchTest,
+        n_words: int,
+        width: int,
+        *,
+        lanes: int = 3,
+        acc_width: int = 16,
+        verify_cells: int | None = 8,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.test = symmetrize(test, lanes)
+        self.n_words = n_words
+        self.width = width
+        self.lanes = lanes
+        self.acc_width = acc_width
+        self._fold_mask = (1 << acc_width) - 1
+        self.reference = self._signature_of_content([0] * n_words)
+        self._verify_symmetry(verify_cells)
+
+    # -- signature plumbing ---------------------------------------------
+    def _fold(self, value: int) -> int:
+        folded = 0
+        while value:
+            folded ^= value & self._fold_mask
+            value >>= self.acc_width
+        return folded
+
+    def _signature(self, memory: Memory) -> tuple[int, ...]:
+        sigs = [0] * self.lanes
+        ordinal: dict[int, int] = {}
+
+        def sink(rec) -> None:
+            k = ordinal.get(rec.addr, 0)
+            ordinal[rec.addr] = k + 1
+            sigs[k % self.lanes] ^= self._fold(rec.raw)
+
+        run_march(self.test, memory, read_sink=sink)
+        return tuple(sigs)
+
+    def _signature_of_content(self, content: list[int]) -> tuple[int, ...]:
+        memory = Memory(self.n_words, self.width)
+        memory.load(content)
+        return self._signature(memory)
+
+    def _verify_symmetry(self, verify_cells: int | None) -> None:
+        """Spot-check content independence on basis contents.
+
+        ``verify_cells=None`` checks every cell (exact); an integer
+        bounds the check for large memories.  March-test structure
+        makes the per-word contribution identical across words, so the
+        sampled check is already strong.
+        """
+        cells = [
+            (w, j) for w in range(self.n_words) for j in range(self.width)
+        ]
+        if verify_cells is not None:
+            cells = cells[:: max(1, len(cells) // verify_cells)]
+        for w, j in cells:
+            content = [0] * self.n_words
+            content[w] = 1 << j
+            if self._signature_of_content(content) != self.reference:
+                raise ValueError(
+                    f"{self.test.name} is not symmetric under the "
+                    f"{self.lanes}-lane compactor (content bit ({w},{j}) "
+                    "leaks into the signature)"
+                )
+
+    # -- public API --------------------------------------------------------
+    def run(self, memory: Memory) -> bool:
+        """One session; returns True when a fault is signalled."""
+        if memory.n_words != self.n_words or memory.width != self.width:
+            raise ValueError("memory dimensions differ from calibration")
+        return self._signature(memory) != self.reference
+
+    @property
+    def session_ops(self) -> int:
+        """Ops per word per session (compare with TCM+TCP of two-phase)."""
+        return self.test.op_count

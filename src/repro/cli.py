@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the March-test catalog with statistics.
+``show NAME``
+    Print one test, its notation and metadata.
+``transform NAME --width B [--scheme twm|scheme1] [--ascii]``
+    Run TWM_TA (or the Scheme 1 baseline) and print all artifacts.
+``complexity [--widths 16,32,64,128] [--tests "March C-,March U"]``
+    Regenerate the Table 3 word-size sweep.
+``coverage NAME --width B [--words N] [--seed S]``
+    Fault-simulate the transformed test over the standard universe.
+``validate NOTATION``
+    Parse and validate a March test given in textual notation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .analysis.coverage import compare_flow, run_campaign
+from .analysis.reports import render_table
+from .baselines.scheme1 import scheme1_transform
+from .core.complexity import table3_rows
+from .core.notation import NotationError, format_march, parse_march
+from .core.twm import twm_transform
+from .core.validate import validate_solid, validate_transparent
+from .library import catalog
+from .memory.injection import standard_fault_universe
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in catalog.names():
+        entry = catalog.entry(name)
+        rows.append(
+            (
+                name,
+                entry.test.op_count,
+                entry.test.n_reads,
+                ",".join(sorted(entry.detects)),
+                entry.reference,
+            )
+        )
+    print(
+        render_table(
+            ["Test", "N", "Q", "Detects (100%)", "Reference"],
+            rows,
+            title="March-test catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    entry = catalog.entry(args.name)
+    print(entry.test.describe())
+    print(f"  reference: {entry.reference}")
+    if args.ascii:
+        print(f"  ascii: {format_march(entry.test, ascii_only=True)}")
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    test = catalog.get(args.name)
+    fmt = (lambda t: format_march(t, ascii_only=True)) if args.ascii else str
+    if args.scheme == "twm":
+        result = twm_transform(test, args.width)
+        print(result.summary())
+        print(f"SMarch   : {fmt(result.smarch)}")
+        print(f"TSMarch  : {fmt(result.tsmarch)}")
+        print(f"ATMarch  : {fmt(result.atmarch)}")
+        print(f"TWMarch  : {fmt(result.twmarch)}")
+        print(f"Prediction ({result.tcp} ops/word): {fmt(result.prediction)}")
+    else:
+        result = scheme1_transform(test, args.width)
+        print(result.summary())
+        for p in result.passes:
+            print(f"  {p.name} ({p.op_count} ops): {fmt(p)}")
+        print(f"Prediction: {result.tcp} ops/word")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.tests.split(",")]
+    widths = tuple(int(w) for w in args.widths.split(","))
+    rows = table3_rows([catalog.get(n) for n in names], widths=widths)
+    print(
+        render_table(
+            ["Test", "b", "Scheme 1 [12]", "TOMT [13]", "This work",
+             "vs [12]", "vs [13]"],
+            [
+                (
+                    r.test,
+                    r.width,
+                    f"{r.scheme1_measured.total}n",
+                    f"{r.tomt.total}n",
+                    f"{r.this_work.total}n",
+                    f"{r.ratio_vs_scheme1:.0%}",
+                    f"{r.ratio_vs_tomt:.0%}",
+                )
+                for r in rows
+            ],
+            title="Total test complexity (TCM + TCP)",
+        )
+    )
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    test = catalog.get(args.name)
+    result = twm_transform(test, args.width)
+    universe = standard_fault_universe(
+        args.words,
+        args.width,
+        max_inter_pairs=args.max_inter_pairs,
+        rng=random.Random(args.seed),
+    )
+    flow = compare_flow(
+        result.twmarch, args.words, args.width, initial=None, seed=args.seed
+    )
+    report = run_campaign(flow, universe, flow_name=f"TWMarch {args.name}")
+    print(report.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        test = parse_march(args.notation, name="cli")
+    except NotationError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    print(test.describe())
+    report = (
+        validate_transparent(test)
+        if test.is_transparent_form
+        else validate_solid(test)
+    )
+    kind = "transparent" if test.is_transparent_form else "solid"
+    if report.ok:
+        print(f"valid {kind} march test")
+        return 0
+    print(f"invalid {kind} march test:", file=sys.stderr)
+    for problem in report.problems:
+        print(f"  - {problem}", file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Transparent word-oriented March BIST "
+            "(Li/Tseng/Wey, DATE 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the March-test catalog")
+
+    show = sub.add_parser("show", help="print one catalog test")
+    show.add_argument("name")
+    show.add_argument("--ascii", action="store_true")
+
+    transform = sub.add_parser("transform", help="run a transformation")
+    transform.add_argument("name")
+    transform.add_argument("--width", type=int, default=32)
+    transform.add_argument(
+        "--scheme", choices=("twm", "scheme1"), default="twm"
+    )
+    transform.add_argument("--ascii", action="store_true")
+
+    complexity = sub.add_parser("complexity", help="Table 3 sweep")
+    complexity.add_argument("--tests", default="March C-,March U")
+    complexity.add_argument("--widths", default="16,32,64,128")
+
+    coverage = sub.add_parser("coverage", help="fault-simulate a TWMarch")
+    coverage.add_argument("name")
+    coverage.add_argument("--width", type=int, default=8)
+    coverage.add_argument("--words", type=int, default=4)
+    coverage.add_argument("--seed", type=int, default=0)
+    coverage.add_argument("--max-inter-pairs", type=int, default=16)
+
+    validate = sub.add_parser("validate", help="check a notation string")
+    validate.add_argument("notation")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "transform": _cmd_transform,
+    "complexity": _cmd_complexity,
+    "coverage": _cmd_coverage,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:  # unknown catalog name
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

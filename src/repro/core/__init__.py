@@ -1,0 +1,93 @@
+"""Core March-test IR and the paper's transformation algorithms."""
+
+from .backgrounds import (
+    background_plan,
+    checker_backgrounds,
+    covers_all_pairs,
+    format_background,
+    log2_width,
+    n_backgrounds,
+)
+from .complexity import (
+    HeadlineRatios,
+    SchemeCost,
+    Table3Row,
+    headline_ratios,
+    scheme1_cost,
+    scheme1_paper_cost,
+    table2_rows,
+    table3_rows,
+    tomt_cost,
+    twm_cost,
+    twm_formula_tcm,
+    twm_formula_tcp,
+)
+from .element import AddressOrder, MarchElement
+from .march import MarchTest
+from .notation import NotationError, format_march, parse_march
+from .ops import DataExpr, Mask, Op, OpKind, Pattern, bit, checker, checkerboard
+from .signature import prediction_test
+from .transparent import MarchConsistencyError, TransparentResult, to_transparent
+from .twm import (
+    TWMError,
+    TWMResult,
+    atmarch,
+    nontransparent_word_reference,
+    solid_background_test,
+    twm_transform,
+)
+from .validate import (
+    ValidationReport,
+    check_transparency_by_execution,
+    validate_solid,
+    validate_transparent,
+)
+
+__all__ = [
+    "AddressOrder",
+    "DataExpr",
+    "HeadlineRatios",
+    "MarchConsistencyError",
+    "MarchElement",
+    "MarchTest",
+    "Mask",
+    "NotationError",
+    "Op",
+    "OpKind",
+    "Pattern",
+    "SchemeCost",
+    "TWMError",
+    "TWMResult",
+    "Table3Row",
+    "TransparentResult",
+    "ValidationReport",
+    "atmarch",
+    "background_plan",
+    "bit",
+    "checker",
+    "checker_backgrounds",
+    "checkerboard",
+    "check_transparency_by_execution",
+    "covers_all_pairs",
+    "format_background",
+    "format_march",
+    "headline_ratios",
+    "log2_width",
+    "n_backgrounds",
+    "nontransparent_word_reference",
+    "parse_march",
+    "prediction_test",
+    "scheme1_cost",
+    "scheme1_paper_cost",
+    "solid_background_test",
+    "table2_rows",
+    "table3_rows",
+    "to_transparent",
+    "tomt_cost",
+    "twm_cost",
+    "twm_formula_tcm",
+    "twm_formula_tcp",
+    "twm_transform",
+    "validate_solid",
+    "validate_transparent",
+]

@@ -1,0 +1,85 @@
+"""Data-background plans for word-oriented March testing.
+
+A *data background* is the word-wide pattern written by a word-oriented
+memory operation.  Converting a bit-oriented March test into a
+word-oriented one classically requires running the test once per
+background; the standard plan for a ``b``-bit word uses the solid all-0
+background plus the ``log2 b`` checkerboards ``D_1 .. D_log2b``
+(van de Goor).  The paper's Scheme 1 baseline [12] uses exactly this
+plan; the proposed TWM_TA uses only the solid backgrounds in its main
+phase and folds the checkerboards into the short ATMarch tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .ops import checkerboard
+
+
+def log2_width(width: int) -> int:
+    """``log2(width)`` for power-of-two *width*, else ``ValueError``."""
+    if width < 1 or width & (width - 1):
+        raise ValueError(f"word width must be a power of two, got {width}")
+    return width.bit_length() - 1
+
+
+def is_power_of_two(width: int) -> bool:
+    return width >= 1 and not (width & (width - 1))
+
+
+def checker_backgrounds(width: int) -> list[int]:
+    """The checkerboard backgrounds ``[D_1, ..., D_log2b]`` for *width*.
+
+    For ``width == 1`` the list is empty (a single bit has no intra-word
+    structure to exercise).
+    """
+    return [checkerboard(k, width) for k in range(1, log2_width(width) + 1)]
+
+
+def background_plan(width: int) -> list[int]:
+    """The classic word-oriented background plan: all-0 plus checkers.
+
+    Length is ``log2(width) + 1``, e.g. ``[0b0000, 0b0101, 0b0011]`` for
+    4-bit words — the plan used in the paper's Section 3 example.
+    """
+    return [0] + checker_backgrounds(width)
+
+
+def n_backgrounds(width: int) -> int:
+    """Number of backgrounds in :func:`background_plan`."""
+    return log2_width(width) + 1
+
+
+def format_background(value: int, width: int) -> str:
+    """Fixed-width binary rendering, MSB first (as printed in the paper)."""
+    return format(value & ((1 << width) - 1), f"0{width}b")
+
+
+def covers_all_pairs(backgrounds: list[int], width: int) -> bool:
+    """Check the defining property of a background plan.
+
+    For every ordered pair of distinct bit positions ``(i, j)`` there
+    must exist a background in which bit *i* and bit *j* differ — this
+    is what lets word writes exercise intra-word coupling between every
+    bit pair.
+    """
+    for i in range(width):
+        for j in range(i + 1, width):
+            if not any(
+                ((bg >> i) & 1) != ((bg >> j) & 1) for bg in backgrounds
+            ):
+                return False
+    return True
+
+
+def minimal_plan_size(width: int) -> int:
+    """Information-theoretic lower bound on distinguishing backgrounds.
+
+    Each background assigns one bit to every position; distinguishing
+    all ``width`` positions pairwise needs at least ``ceil(log2 width)``
+    backgrounds (each position must receive a unique bit-vector).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return math.ceil(math.log2(width)) if width > 1 else 0

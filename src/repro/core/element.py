@@ -1,0 +1,92 @@
+"""March elements: an address order plus a sequence of operations.
+
+A march element applies its whole operation sequence to one address,
+then moves to the next address in the prescribed order (ascending,
+descending, or "either").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .ops import Op, reads, writes
+
+
+class AddressOrder(enum.Enum):
+    """Address sequencing of a march element."""
+
+    UP = "up"  # ascending, written ⇑
+    DOWN = "down"  # descending, written ⇓
+    ANY = "any"  # either order is allowed, written ⇕
+
+    @property
+    def arrow(self) -> str:
+        return {"up": "⇑", "down": "⇓", "any": "⇕"}[self.value]
+
+    def addresses(self, n_words: int) -> range:
+        """Concrete address sequence for a memory of *n_words* words.
+
+        ``ANY`` is resolved to ascending order, the conventional choice.
+        """
+        if self is AddressOrder.DOWN:
+            return range(n_words - 1, -1, -1)
+        return range(n_words)
+
+    def reversed(self) -> "AddressOrder":
+        if self is AddressOrder.UP:
+            return AddressOrder.DOWN
+        if self is AddressOrder.DOWN:
+            return AddressOrder.UP
+        return AddressOrder.ANY
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """An address order and a non-empty operation sequence."""
+
+    order: AddressOrder
+    ops: tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a march element must contain at least one operation")
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    @staticmethod
+    def of(order: AddressOrder, ops: Sequence[Op]) -> "MarchElement":
+        return MarchElement(order, tuple(ops))
+
+    # -- statistics ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    @property
+    def n_reads(self) -> int:
+        return reads(self.ops)
+
+    @property
+    def n_writes(self) -> int:
+        return writes(self.ops)
+
+    @property
+    def is_pure_write(self) -> bool:
+        """True when the element consists only of write operations."""
+        return all(op.is_write for op in self.ops)
+
+    @property
+    def is_pure_read(self) -> bool:
+        return all(op.is_read for op in self.ops)
+
+    @property
+    def starts_with_write(self) -> bool:
+        return self.ops[0].is_write
+
+    # -- rendering -----------------------------------------------------
+    def __str__(self) -> str:
+        body = ",".join(str(op) for op in self.ops)
+        return f"{self.order.arrow}({body})"

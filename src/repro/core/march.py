@@ -1,0 +1,106 @@
+"""Whole March tests: a named, ordered sequence of march elements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .element import MarchElement
+from .ops import Op
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A March test.
+
+    ``name`` is descriptive only; equality and hashing consider the
+    element structure alone, so differently-named structurally identical
+    tests compare equal via :meth:`same_structure`.
+    """
+
+    name: str
+    elements: tuple[MarchElement, ...]
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise ValueError("a march test must contain at least one element")
+        object.__setattr__(self, "elements", tuple(self.elements))
+
+    @staticmethod
+    def of(name: str, elements: Sequence[MarchElement], notes: str = "") -> "MarchTest":
+        return MarchTest(name, tuple(elements), notes)
+
+    # -- statistics ----------------------------------------------------
+    def __iter__(self) -> Iterator[MarchElement]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    @property
+    def op_count(self) -> int:
+        """Operations applied to each address (the ``N`` of complexity
+        formulas; total test length is ``op_count * n_words``)."""
+        return sum(len(e) for e in self.elements)
+
+    @property
+    def n_reads(self) -> int:
+        """The ``Q`` of complexity formulas."""
+        return sum(e.n_reads for e in self.elements)
+
+    @property
+    def n_writes(self) -> int:
+        return sum(e.n_writes for e in self.elements)
+
+    @property
+    def all_ops(self) -> tuple[Op, ...]:
+        return tuple(op for e in self.elements for op in e.ops)
+
+    @property
+    def is_transparent_form(self) -> bool:
+        """True when every operation is content-relative (``c ^ mask``)."""
+        return all(op.is_relative for op in self.all_ops)
+
+    @property
+    def is_solid_form(self) -> bool:
+        """True when no operation is content-relative."""
+        return all(not op.is_relative for op in self.all_ops)
+
+    def complexity(self) -> str:
+        """Human-readable per-memory complexity, e.g. ``"10n"``."""
+        return f"{self.op_count}n"
+
+    # -- structure -----------------------------------------------------
+    def same_structure(self, other: "MarchTest") -> bool:
+        """Structural equality ignoring names and notes."""
+        return self.elements == other.elements
+
+    def renamed(self, name: str, notes: str | None = None) -> "MarchTest":
+        return MarchTest(name, self.elements, self.notes if notes is None else notes)
+
+    def concat(self, other: "MarchTest", name: str | None = None) -> "MarchTest":
+        """The test that runs *self* then *other*."""
+        return MarchTest(
+            name if name is not None else f"{self.name};{other.name}",
+            self.elements + other.elements,
+        )
+
+    # -- rendering -----------------------------------------------------
+    def __str__(self) -> str:
+        body = "; ".join(str(e) for e in self.elements)
+        return f"{{{body}}}"
+
+    def describe(self) -> str:
+        """Multi-line description with statistics."""
+        lines = [
+            f"{self.name}: {self}",
+            (
+                f"  N = {self.op_count} ops/address"
+                f" (Q = {self.n_reads} reads, W = {self.n_writes} writes),"
+                f" {len(self.elements)} elements"
+            ),
+        ]
+        if self.notes:
+            lines.append(f"  {self.notes}")
+        return "\n".join(lines)

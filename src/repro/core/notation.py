@@ -1,0 +1,156 @@
+"""Parsing and formatting of van-de-Goor March notation.
+
+The accepted textual grammar (whitespace-insensitive)::
+
+    test    := element (';' element)* [';']
+    element := arrow '(' op (',' op)* ')'
+    arrow   := '⇑' | '⇓' | '⇕' | 'up' | 'down' | 'dn' | 'any' | 'ud'
+    op      := ('r' | 'w') expr
+    expr    := term | '(' term ('^' term)* ')'
+    term    := '0' | '1' | 'c' | '~c' | 'D'<int> | '~D'<int> | 'e'<int>
+               | '~' term
+
+``0``/``1`` denote the solid all-zeros / all-ones data; ``c`` the
+initial (transparent) word content; ``Dk`` the standard checkerboard
+background; ``ej`` the unit pattern; ``~`` bit-wise complement, i.e.
+XOR with the all-ones pattern.
+
+Examples::
+
+    parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}")
+    parse_march("any(w0); up(r0,w1); down(r1,w0); any(r0)")
+    parse_march("⇕(rc, w(c^D1), r(c^D1), wc, rc)")
+"""
+
+from __future__ import annotations
+
+import re
+
+from .element import AddressOrder, MarchElement
+from .march import MarchTest
+from .ops import DataExpr, Mask, Op, OpKind, ONES, bit, checker
+
+
+class NotationError(ValueError):
+    """Raised when a March notation string cannot be parsed."""
+
+
+_ARROWS = {
+    "⇑": AddressOrder.UP,
+    "⇓": AddressOrder.DOWN,
+    "⇕": AddressOrder.ANY,
+    "up": AddressOrder.UP,
+    "down": AddressOrder.DOWN,
+    "dn": AddressOrder.DOWN,
+    "any": AddressOrder.ANY,
+    "ud": AddressOrder.ANY,
+}
+
+_ELEMENT_RE = re.compile(
+    r"(?P<arrow>⇑|⇓|⇕|up|down|dn|any|ud)\s*\((?P<body>[^()]*(?:\([^()]*\)[^()]*)*)\)",
+    re.UNICODE,
+)
+
+_OP_SPLIT_RE = re.compile(r",(?![^()]*\))")
+
+
+def parse_march(text: str, name: str = "march") -> MarchTest:
+    """Parse a March test from its textual notation."""
+    stripped = text.strip()
+    if stripped.startswith("{") and stripped.endswith("}"):
+        stripped = stripped[1:-1]
+    elements = []
+    cursor = 0
+    for match in _ELEMENT_RE.finditer(stripped):
+        between = stripped[cursor : match.start()].strip(" ;\t\n")
+        if between:
+            raise NotationError(f"unexpected text {between!r} in march notation")
+        cursor = match.end()
+        order = _ARROWS[match.group("arrow")]
+        body = match.group("body").strip()
+        if not body:
+            raise NotationError("empty march element")
+        ops = tuple(
+            _parse_op(part.strip()) for part in _OP_SPLIT_RE.split(body) if part.strip()
+        )
+        if not ops:
+            raise NotationError("empty march element")
+        elements.append(MarchElement(order, ops))
+    trailing = stripped[cursor:].strip(" ;\t\n")
+    if trailing:
+        raise NotationError(f"unexpected trailing text {trailing!r}")
+    if not elements:
+        raise NotationError("march notation contains no elements")
+    return MarchTest(name, tuple(elements))
+
+
+def _parse_op(text: str) -> Op:
+    if not text:
+        raise NotationError("empty operation")
+    head, rest = text[0], text[1:].strip()
+    if head == "r":
+        kind = OpKind.READ
+    elif head == "w":
+        kind = OpKind.WRITE
+    else:
+        raise NotationError(f"operation must start with 'r' or 'w': {text!r}")
+    return Op(kind, _parse_expr(rest))
+
+
+def _parse_expr(text: str) -> DataExpr:
+    text = text.strip()
+    if not text:
+        raise NotationError("operation is missing its data expression")
+    if text.startswith("(") and text.endswith(")"):
+        text = text[1:-1].strip()
+    relative = False
+    mask = Mask.ZERO
+    for raw_term in text.split("^"):
+        term = raw_term.strip()
+        if not term:
+            raise NotationError(f"empty term in expression {text!r}")
+        invert = False
+        while term.startswith("~"):
+            invert = not invert
+            term = term[1:].strip()
+        if term == "c":
+            if relative:
+                # c ^ c cancels
+                relative = False
+            else:
+                relative = True
+        elif term == "0":
+            pass
+        elif term == "1":
+            mask ^= Mask.ONES
+        elif term.startswith("D"):
+            mask ^= Mask.of(checker(_parse_index(term[1:], term)))
+        elif term.startswith("e"):
+            mask ^= Mask.of(bit(_parse_index(term[1:], term)))
+        else:
+            raise NotationError(f"unknown term {term!r} in expression")
+        if invert:
+            mask ^= Mask.ONES
+    return DataExpr(relative, mask)
+
+
+def _parse_index(digits: str, term: str) -> int:
+    if not digits.isdigit():
+        raise NotationError(f"malformed indexed term {term!r}")
+    return int(digits)
+
+
+def format_march(test: MarchTest, ascii_only: bool = False) -> str:
+    """Render *test* back to notation (round-trips through the parser)."""
+    if not ascii_only:
+        return str(test)
+    arrow_names = {
+        AddressOrder.UP: "up",
+        AddressOrder.DOWN: "down",
+        AddressOrder.ANY: "any",
+    }
+    parts = []
+    for element in test.elements:
+        body = ",".join(str(op) for op in element.ops)
+        parts.append(f"{arrow_names[element.order]}({body})")
+    return "; ".join(parts)

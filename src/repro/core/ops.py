@@ -1,0 +1,323 @@
+"""Symbolic March-test operations and their data expressions.
+
+A March operation is a read or a write applied to every address of the
+memory under test, in the order prescribed by the enclosing march
+element.  The *data* carried by an operation is symbolic so that the
+same IR can express
+
+* non-transparent tests with solid or checkerboard backgrounds
+  (``w0``, ``w1``, ``wD2``, ...), and
+* transparent tests whose data is defined relative to the unknown
+  initial content ``c`` of each word (``w c``, ``r c^D1``, ...).
+
+The symbolic value of every operation is an XOR of *patterns* over an
+optional ``c`` term::
+
+    value(word) = (c                      if relative else 0)
+                  XOR pattern_1 XOR pattern_2 XOR ...
+
+Patterns are width-polymorphic: the same expression describes a 1-bit
+cell or a 64-bit word and is resolved to a concrete integer only when a
+word width is supplied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class OpKind(enum.Enum):
+    """Kind of a March operation."""
+
+    READ = "r"
+    WRITE = "w"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Pattern:
+    """A width-polymorphic bit pattern that can be XOR-composed.
+
+    The three supported families are
+
+    ``ones``
+        the all-ones background (written ``1`` in March notation),
+
+    ``checker(k)``
+        the standard data background ``D_k`` whose bit ``j`` is 1 iff
+        ``floor(j / 2**(k-1))`` is even (``D1 = ...01010101``,
+        ``D2 = ...00110011``, ...), matching the construction in the
+        paper's Section 4, and
+
+    ``bit(j)``
+        the unit pattern ``e_j`` with only bit ``j`` set (used by the
+        TOMT baseline's bit-walking test).
+    """
+
+    family: str
+    index: int = 0
+
+    _FAMILIES = ("ones", "checker", "bit")
+
+    def __post_init__(self) -> None:
+        if self.family not in self._FAMILIES:
+            raise ValueError(f"unknown pattern family: {self.family!r}")
+        if self.family == "checker" and self.index < 1:
+            raise ValueError("checker background index k must be >= 1")
+        if self.family == "bit" and self.index < 0:
+            raise ValueError("bit index must be >= 0")
+
+    def resolve(self, width: int) -> int:
+        """Return the concrete integer value of this pattern at *width*."""
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        full = (1 << width) - 1
+        if self.family == "ones":
+            return full
+        if self.family == "checker":
+            return checkerboard(self.index, width)
+        # bit
+        if self.index >= width:
+            raise ValueError(
+                f"bit pattern e_{self.index} does not fit in width {width}"
+            )
+        return 1 << self.index
+
+    @property
+    def symbol(self) -> str:
+        if self.family == "ones":
+            return "1"
+        if self.family == "checker":
+            return f"D{self.index}"
+        return f"e{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.symbol
+
+
+def checkerboard(k: int, width: int) -> int:
+    """The standard data background ``D_k`` for a *width*-bit word.
+
+    Bit ``j`` of ``D_k`` is 1 iff ``floor(j / 2**(k-1))`` is even.  For
+    an 8-bit word this yields the backgrounds used in the paper's worked
+    example: ``D1 = 01010101``, ``D2 = 00110011``, ``D3 = 00001111``.
+    """
+    if k < 1:
+        raise ValueError("background index k must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    stride = 1 << (k - 1)
+    value = 0
+    for j in range(width):
+        if (j // stride) % 2 == 0:
+            value |= 1 << j
+    return value
+
+
+ONES = Pattern("ones")
+
+
+def checker(k: int) -> Pattern:
+    """The ``D_k`` checkerboard background pattern."""
+    return Pattern("checker", k)
+
+
+def bit(j: int) -> Pattern:
+    """The unit pattern ``e_j`` (only bit *j* set)."""
+    return Pattern("bit", j)
+
+
+# ---------------------------------------------------------------------------
+# Masks: canonical XOR combinations of patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mask:
+    """A canonical XOR of :class:`Pattern` terms.
+
+    Because XOR is involutive, a mask is fully described by the *set* of
+    patterns that appear an odd number of times.  ``Mask.ZERO`` is the
+    empty combination.
+    """
+
+    terms: frozenset[Pattern] = frozenset()
+
+    @staticmethod
+    def of(*patterns: Pattern) -> "Mask":
+        mask = Mask()
+        for p in patterns:
+            mask = mask ^ Mask(frozenset({p}))
+        return mask
+
+    def __xor__(self, other: "Mask") -> "Mask":
+        if not isinstance(other, Mask):
+            return NotImplemented
+        return Mask(self.terms.symmetric_difference(other.terms))
+
+    def resolve(self, width: int) -> int:
+        value = 0
+        for p in self.terms:
+            value ^= p.resolve(width)
+        return value & ((1 << width) - 1)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def symbol(self) -> str:
+        if not self.terms:
+            return "0"
+        return "^".join(p.symbol for p in sorted(self.terms))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.symbol
+
+
+Mask.ZERO = Mask()  # type: ignore[attr-defined]
+Mask.ONES = Mask.of(ONES)  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Data expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DataExpr:
+    """The symbolic data of a March operation.
+
+    ``relative`` selects between the two value bases:
+
+    * ``False`` — an absolute (non-transparent) value, ``mask`` itself;
+    * ``True`` — a transparent value defined against the initial word
+      content ``c``: ``c XOR mask``.
+    """
+
+    relative: bool
+    mask: Mask
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def const0() -> "DataExpr":
+        return DataExpr(False, Mask.ZERO)
+
+    @staticmethod
+    def const1() -> "DataExpr":
+        return DataExpr(False, Mask.ONES)
+
+    @staticmethod
+    def absolute(mask: Mask) -> "DataExpr":
+        return DataExpr(False, mask)
+
+    @staticmethod
+    def content(mask: Mask = Mask.ZERO) -> "DataExpr":
+        """The transparent expression ``c ^ mask`` (default just ``c``)."""
+        return DataExpr(True, mask)
+
+    @staticmethod
+    def content_inv() -> "DataExpr":
+        return DataExpr(True, Mask.ONES)
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, initial: int, width: int) -> int:
+        """Concrete value for a word whose initial content is *initial*."""
+        base = initial if self.relative else 0
+        return (base ^ self.mask.resolve(width)) & ((1 << width) - 1)
+
+    def __xor__(self, other: Mask) -> "DataExpr":
+        if not isinstance(other, Mask):
+            return NotImplemented
+        return DataExpr(self.relative, self.mask ^ other)
+
+    # -- rendering -----------------------------------------------------
+    @property
+    def symbol(self) -> str:
+        if not self.relative:
+            return self.mask.symbol
+        if self.mask.is_zero:
+            return "c"
+        if self.mask == Mask.ONES:
+            return "~c"
+        return f"(c^{self.mask.symbol})"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.symbol
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Op:
+    """A single March operation: a read or write of a symbolic value.
+
+    For reads, ``data`` is the value the fault-free memory is expected
+    to return; for writes, the value to be stored.
+    """
+
+    kind: OpKind
+    data: DataExpr
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def read(data: DataExpr) -> "Op":
+        return Op(OpKind.READ, data)
+
+    @staticmethod
+    def write(data: DataExpr) -> "Op":
+        return Op(OpKind.WRITE, data)
+
+    @staticmethod
+    def r0() -> "Op":
+        return Op.read(DataExpr.const0())
+
+    @staticmethod
+    def r1() -> "Op":
+        return Op.read(DataExpr.const1())
+
+    @staticmethod
+    def w0() -> "Op":
+        return Op.write(DataExpr.const0())
+
+    @staticmethod
+    def w1() -> "Op":
+        return Op.write(DataExpr.const1())
+
+    # -- queries -------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_relative(self) -> bool:
+        return self.data.relative
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}{self.data.symbol}"
+
+
+def reads(ops: Iterable[Op]) -> int:
+    """Number of read operations in *ops*."""
+    return sum(1 for op in ops if op.is_read)
+
+
+def writes(ops: Iterable[Op]) -> int:
+    """Number of write operations in *ops*."""
+    return sum(1 for op in ops if op.is_write)

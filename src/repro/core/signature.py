@@ -1,0 +1,36 @@
+"""Signature-prediction test extraction (step 4 of the transformation).
+
+A transparent BIST session runs in two phases: a *signature prediction*
+pass that computes the reference signature from the current memory
+content without modifying it, then the transparent test proper.  The
+prediction test is the transparent test with every write removed
+(elements that become empty are dropped); the BIST read datapath XORs
+each raw read with the operation's pattern so the MISR sees exactly the
+value the test phase is expected to produce.
+"""
+
+from __future__ import annotations
+
+from .element import MarchElement
+from .march import MarchTest
+
+
+def prediction_test(transparent: MarchTest, name: str | None = None) -> MarchTest:
+    """The signature-prediction test of a transparent March test."""
+    if not transparent.is_transparent_form:
+        raise ValueError(
+            f"{transparent.name} is not in transparent form; signature "
+            "prediction is defined for transparent tests only"
+        )
+    elements = []
+    for element in transparent.elements:
+        reads = tuple(op for op in element.ops if op.is_read)
+        if reads:
+            elements.append(MarchElement(element.order, reads))
+    if not elements:
+        raise ValueError(f"{transparent.name} contains no read operations")
+    return MarchTest(
+        name if name is not None else f"{transparent.name}-SP",
+        tuple(elements),
+        notes=f"signature prediction of {transparent.name}",
+    )

@@ -1,0 +1,148 @@
+"""The classic (Nicolaidis) transparent March transformation.
+
+Section 3 of the paper summarises the transformation rules from
+[11, 12] that turn a non-transparent March test into a transparent one:
+
+1. If the first test operation of a march element is a write, add a
+   read at the beginning of the element.  If the test starts with an
+   initialization march element that is useless for fault activation
+   (a pure-write element), remove it.
+2. Replace every operation's absolute data ``v`` by the
+   content-relative data ``c ^ (v ^ v0)``, where ``v0`` is the value
+   established by the initialization element (the paper fixes the
+   symbol ``a`` to the content written by the init element, so
+   ``w0 -> w c`` and ``w1 -> w ~c`` for an all-0 initialization).
+3. If the memory content after the last write is the inverse of the
+   initial data, append a read followed by a write of the inverse of
+   the read data (restoring the original content).
+4. The signature-prediction test is obtained by deleting all writes.
+
+The implementation below works on arbitrary absolute data masks, not
+just solid 0/1, so the same engine transforms per-background tests (the
+Scheme 1 baseline) and the solid-background SMarch used by TWM_TA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .element import AddressOrder, MarchElement
+from .march import MarchTest
+from .ops import DataExpr, Mask, Op
+
+
+class MarchConsistencyError(ValueError):
+    """Raised when a March test's reads disagree with its own writes."""
+
+
+@dataclass(frozen=True)
+class TransparentResult:
+    """Outcome of the bit-level transparent transformation.
+
+    ``final_mask`` is the content of the memory at the end of
+    ``transparent`` relative to the initial content ``c`` (``Mask.ZERO``
+    means the content is restored; with ``restore=True`` it always is).
+    ``init_mask`` is the absolute content established by the removed
+    initialization element.
+    """
+
+    transparent: MarchTest
+    init_mask: Mask
+    final_mask: Mask
+    dropped_init: bool
+    added_reads: int
+    added_restore: bool
+
+    @property
+    def restored(self) -> bool:
+        return self.final_mask.is_zero
+
+
+def to_transparent(
+    march: MarchTest,
+    *,
+    restore: bool = True,
+    name: str | None = None,
+) -> TransparentResult:
+    """Apply the Nicolaidis transformation rules to *march*.
+
+    *march* must be in solid (non-relative) form.  With
+    ``restore=False`` step 3 is skipped — this is the variant used
+    inside TWM_TA, where the restore duty moves into ATMarch.
+    """
+    if not march.is_solid_form:
+        raise ValueError(
+            f"{march.name} is already content-relative; "
+            "the transparent transformation applies to non-transparent tests"
+        )
+
+    elements = list(march.elements)
+    dropped_init = False
+    if elements[0].is_pure_write:
+        init_mask = elements[0].ops[-1].data.mask
+        elements = elements[1:]
+        dropped_init = True
+        if not elements:
+            raise MarchConsistencyError(
+                f"{march.name} consists only of an initialization element"
+            )
+    elif elements[0].ops[0].is_read:
+        init_mask = elements[0].ops[0].data.mask
+    else:
+        raise MarchConsistencyError(
+            f"{march.name} must start with a pure-write initialization "
+            "element or with a read"
+        )
+
+    current = init_mask
+    added_reads = 0
+    new_elements: list[MarchElement] = []
+    for element in elements:
+        ops: list[Op] = []
+        visit = current
+        if element.starts_with_write:
+            ops.append(Op.read(DataExpr(True, visit ^ init_mask)))
+            added_reads += 1
+        for op in element.ops:
+            if op.is_read:
+                if op.data.mask != visit:
+                    raise MarchConsistencyError(
+                        f"{march.name}: read expects {op.data.mask.symbol} but "
+                        f"content is {visit.symbol} in element {element}"
+                    )
+                ops.append(Op.read(DataExpr(True, visit ^ init_mask)))
+            else:
+                visit = op.data.mask
+                ops.append(Op.write(DataExpr(True, visit ^ init_mask)))
+        current = visit
+        new_elements.append(MarchElement(element.order, tuple(ops)))
+
+    added_restore = False
+    if restore and current != init_mask:
+        new_elements.append(
+            MarchElement(
+                AddressOrder.ANY,
+                (
+                    Op.read(DataExpr(True, current ^ init_mask)),
+                    Op.write(DataExpr(True, Mask.ZERO)),
+                ),
+            )
+        )
+        added_restore = True
+        final_mask = Mask.ZERO
+    else:
+        final_mask = current ^ init_mask
+
+    transparent = MarchTest(
+        name if name is not None else f"T{march.name}",
+        tuple(new_elements),
+        notes=f"transparent form of {march.name}",
+    )
+    return TransparentResult(
+        transparent=transparent,
+        init_mask=init_mask,
+        final_mask=final_mask,
+        dropped_init=dropped_init,
+        added_reads=added_reads,
+        added_restore=added_restore,
+    )

@@ -1,0 +1,228 @@
+"""TWM_TA — the paper's transparent word-oriented March transformation.
+
+Algorithm 1 of the paper converts a bit-oriented March test ``BMarch``
+into a transparent word-oriented March test ``TWMarch`` in four steps:
+
+1. ``SMarch``: reinterpret the bit values 0/1 as the solid word
+   backgrounds all-0/all-1 (structurally the same test).
+2. If the last operation of SMarch is a write, append a read element
+   (the paper's March U example shows it as a separate ``⇕(r)``).
+3. ``TSMarch``: apply the classic transparent transformation to SMarch,
+   treating each word as one wide bit.  The step-3 restore element is
+   *not* emitted here — restoring is folded into ATMarch.
+4. ``ATMarch``: a short tail that exercises intra-word coupling with
+   the ``log2 b`` checkerboard backgrounds ``D_k``.  Its form depends on
+   whether TSMarch leaves the content inverted (Algorithm 1's branch):
+
+   * content ``c``:   ``⇕(rc, w c^Dk, r c^Dk, wc, rc)`` for each ``k``,
+     then ``⇕(rc)``;
+   * content ``~c``:  the same five-op elements on base ``~c`` for
+     ``k < log2 b``, and the last pattern element flips back to ``c`` on
+     its second write, then ``⇕(rc)``.
+
+   Both variants cost ``5*log2(b) + 1`` operations and restore the
+   original content, so ``TCM = (N + 5*log2 b) * n`` under the paper's
+   assumptions (init element, read-first elements, final read).
+
+``TWMarch = TSMarch ; ATMarch``; the signature-prediction test is
+TWMarch with every write removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .backgrounds import log2_width
+from .element import AddressOrder, MarchElement
+from .march import MarchTest
+from .ops import DataExpr, Mask, Op, checker
+from .signature import prediction_test
+from .transparent import TransparentResult, to_transparent
+
+
+class TWMError(ValueError):
+    """Raised when a test cannot be transformed by TWM_TA."""
+
+
+@dataclass(frozen=True)
+class TWMResult:
+    """All intermediate and final artifacts of a TWM_TA run."""
+
+    bmarch: MarchTest
+    width: int
+    smarch: MarchTest
+    tsmarch: MarchTest
+    atmarch: MarchTest
+    twmarch: MarchTest
+    prediction: MarchTest
+    inverted: bool
+    appended_read: bool
+
+    @property
+    def tcm(self) -> int:
+        """Operations per word of the transparent test (TCM / n)."""
+        return self.twmarch.op_count
+
+    @property
+    def tcp(self) -> int:
+        """Operations per word of the signature prediction (TCP / n)."""
+        return self.prediction.op_count
+
+    def summary(self) -> str:
+        return (
+            f"TWM_TA({self.bmarch.name}, b={self.width}): "
+            f"TSMarch {self.tsmarch.op_count} ops + "
+            f"ATMarch {self.atmarch.op_count} ops = TCM {self.tcm}n, "
+            f"TCP {self.tcp}n"
+        )
+
+
+def _require_bit_oriented(bmarch: MarchTest) -> None:
+    if not bmarch.is_solid_form:
+        raise TWMError(f"{bmarch.name} must be non-transparent (solid form)")
+    for op in bmarch.all_ops:
+        if op.data.mask not in (Mask.ZERO, Mask.ONES):
+            raise TWMError(
+                f"{bmarch.name} is not bit-oriented: operation {op} uses "
+                f"background {op.data.mask.symbol}"
+            )
+
+
+def solid_background_test(bmarch: MarchTest, *, append_read: bool = True) -> tuple[MarchTest, bool]:
+    """Steps 1–2 of TWM_TA: SMarch with the optional trailing read.
+
+    Returns the SMarch test and whether a read was appended.
+    """
+    _require_bit_oriented(bmarch)
+    elements = list(bmarch.elements)
+    appended = False
+    last_op = elements[-1].ops[-1]
+    if append_read and last_op.is_write:
+        elements.append(MarchElement(AddressOrder.ANY, (Op.read(last_op.data),)))
+        appended = True
+    return (
+        MarchTest(
+            f"SMarch {bmarch.name}",
+            tuple(elements),
+            notes=f"{bmarch.name} with solid word backgrounds",
+        ),
+        appended,
+    )
+
+
+def atmarch(width: int, *, inverted: bool, name: str = "ATMarch") -> MarchTest:
+    """The ATMarch tail for a *width*-bit word (see module docstring).
+
+    With ``inverted=True`` the content entering ATMarch is ``~c`` and the
+    tail must restore ``c``; with ``inverted=False`` it is already ``c``.
+    For ``width == 1`` there is no intra-word structure: the tail
+    degenerates to the restore (if needed) plus a final read.
+    """
+    levels = log2_width(width)
+    base = Mask.ONES if inverted else Mask.ZERO
+    elements: list[MarchElement] = []
+
+    def pattern_element(k: int, *, flip_back: bool) -> MarchElement:
+        dk = Mask.of(checker(k))
+        tail_mask = Mask.ZERO if flip_back else base
+        return MarchElement(
+            AddressOrder.ANY,
+            (
+                Op.read(DataExpr(True, base)),
+                Op.write(DataExpr(True, base ^ dk)),
+                Op.read(DataExpr(True, base ^ dk)),
+                Op.write(DataExpr(True, tail_mask)),
+                Op.read(DataExpr(True, tail_mask)),
+            ),
+        )
+
+    if levels == 0:
+        if inverted:
+            elements.append(
+                MarchElement(
+                    AddressOrder.ANY,
+                    (
+                        Op.read(DataExpr(True, Mask.ONES)),
+                        Op.write(DataExpr(True, Mask.ZERO)),
+                    ),
+                )
+            )
+    else:
+        for k in range(1, levels + 1):
+            flip_back = inverted and k == levels
+            elements.append(pattern_element(k, flip_back=flip_back))
+    elements.append(
+        MarchElement(AddressOrder.ANY, (Op.read(DataExpr(True, Mask.ZERO)),))
+    )
+    return MarchTest(
+        name,
+        tuple(elements),
+        notes=f"intra-word tail for {width}-bit words"
+        + (" (restores inverted content)" if inverted else ""),
+    )
+
+
+def twm_transform(bmarch: MarchTest, width: int) -> TWMResult:
+    """Run TWM_TA (Algorithm 1) on *bmarch* for *width*-bit words."""
+    smarch, appended = solid_background_test(bmarch)
+    tsr: TransparentResult = to_transparent(
+        smarch, restore=False, name=f"TSMarch {bmarch.name}"
+    )
+    if tsr.final_mask not in (Mask.ZERO, Mask.ONES):
+        raise TWMError(
+            f"unexpected final content {tsr.final_mask.symbol} after TSMarch"
+        )
+    inverted = tsr.final_mask == Mask.ONES
+    tail = atmarch(width, inverted=inverted, name=f"ATMarch(b={width})")
+    twmarch = tsr.transparent.concat(
+        tail, name=f"TWMarch {bmarch.name} (b={width})"
+    )
+    prediction = prediction_test(twmarch, name=f"TWMarch {bmarch.name} SP")
+    return TWMResult(
+        bmarch=bmarch,
+        width=width,
+        smarch=smarch,
+        tsmarch=tsr.transparent,
+        atmarch=tail,
+        twmarch=twmarch,
+        prediction=prediction,
+        inverted=inverted,
+        appended_read=appended,
+    )
+
+
+def nontransparent_word_reference(bmarch: MarchTest, width: int) -> MarchTest:
+    """The non-transparent word-oriented comparator of the paper's §5.
+
+    ``SMarch + AMarch``: the solid-background word test followed by the
+    absolute-data version of ATMarch (base pattern = content left by
+    SMarch).  The §5 coverage theorem states TWMarch preserves the
+    inter-word and intra-word coverage of this test; the fault-coverage
+    benchmark verifies it by simulation.
+    """
+    smarch, _ = solid_background_test(bmarch)
+    final = Mask.ZERO
+    for op in smarch.all_ops:
+        if op.is_write:
+            final = op.data.mask
+    levels = log2_width(width)
+    elements: list[MarchElement] = []
+    for k in range(1, levels + 1):
+        dk = Mask.of(checker(k))
+        elements.append(
+            MarchElement(
+                AddressOrder.ANY,
+                (
+                    Op.read(DataExpr(False, final)),
+                    Op.write(DataExpr(False, final ^ dk)),
+                    Op.read(DataExpr(False, final ^ dk)),
+                    Op.write(DataExpr(False, final)),
+                    Op.read(DataExpr(False, final)),
+                ),
+            )
+        )
+    elements.append(
+        MarchElement(AddressOrder.ANY, (Op.read(DataExpr(False, final)),))
+    )
+    amarch = MarchTest(f"AMarch(b={width})", tuple(elements))
+    return smarch.concat(amarch, name=f"SMarch+AMarch {bmarch.name} (b={width})")

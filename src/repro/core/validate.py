@@ -1,0 +1,129 @@
+"""Structural and semantic validation of March tests.
+
+These checks encode the well-formedness rules the transformations rely
+on and the invariants the generated tests must satisfy (most notably
+the transparency invariant: a transparent test must restore the
+original memory content).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..memory.model import Memory, words_equal
+from .march import MarchTest
+from .ops import Mask
+
+
+@dataclass
+class ValidationReport:
+    """Collected validation findings; empty ``problems`` means valid."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "OK" if self.ok else "; ".join(self.problems)
+
+
+def validate_solid(test: MarchTest) -> ValidationReport:
+    """Check a non-transparent test: reads must match preceding writes.
+
+    Simulates the content phase through the element sequence (standard
+    March semantics: the content entering an element is uniform across
+    addresses).
+    """
+    report = ValidationReport()
+    if not test.is_solid_form:
+        report.add("test contains content-relative operations")
+        return report
+    current: Mask | None = None
+    for index, element in enumerate(test.elements):
+        visit = current
+        for op in element.ops:
+            if op.is_read:
+                if visit is None:
+                    report.add(
+                        f"element {index}: read before any write "
+                        "(uninitialized content)"
+                    )
+                elif op.data.mask != visit:
+                    report.add(
+                        f"element {index}: read expects "
+                        f"{op.data.mask.symbol}, content is {visit.symbol}"
+                    )
+            else:
+                visit = op.data.mask
+        current = visit
+    return report
+
+
+def validate_transparent(test: MarchTest) -> ValidationReport:
+    """Check a transparent test's structural requirements.
+
+    * every operation must be content-relative;
+    * every write must be derivable by the BIST XOR network (a read
+      earlier in the same element);
+    * consecutive reads-after-writes must expect what was written
+      (phase consistency);
+    * the net content change must be zero (transparency).
+    """
+    report = ValidationReport()
+    if not test.is_transparent_form:
+        report.add("test contains absolute (non-transparent) operations")
+        return report
+    current = Mask.ZERO
+    for index, element in enumerate(test.elements):
+        seen_read = False
+        visit = current
+        for op in element.ops:
+            if op.is_read:
+                seen_read = True
+                if op.data.mask != visit:
+                    report.add(
+                        f"element {index}: read expects c^"
+                        f"{op.data.mask.symbol}, content is c^{visit.symbol}"
+                    )
+            else:
+                if not seen_read:
+                    report.add(
+                        f"element {index}: write {op} precedes any read in "
+                        "its element (not derivable by the BIST datapath)"
+                    )
+                visit = op.data.mask
+        current = visit
+    if not current.is_zero:
+        report.add(
+            f"test is not transparent: final content is c^{current.symbol}"
+        )
+    return report
+
+
+def check_transparency_by_execution(
+    test: MarchTest,
+    *,
+    n_words: int = 8,
+    width: int = 8,
+    seed: int = 0,
+    trials: int = 3,
+) -> bool:
+    """Dynamic transparency check: run on random fault-free contents and
+    verify the memory is bit-identical afterwards."""
+    from ..bist.executor import run_march  # local import to avoid a cycle
+
+    rng = random.Random(seed)
+    for _ in range(trials):
+        memory = Memory(n_words, width)
+        memory.randomize(rng)
+        before = memory.snapshot()
+        run_march(test, memory)
+        if not words_equal(memory.snapshot(), before):
+            return False
+    return True

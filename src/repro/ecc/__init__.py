@@ -1,0 +1,15 @@
+"""Error-detecting/correcting code substrate (parity, Hamming)."""
+
+from .codec import Codec, CodedMemory, DecodeResult
+from .hamming import HammingSEC, HammingSECDED, check_bits_for
+from .parity import ParityCodec
+
+__all__ = [
+    "Codec",
+    "CodedMemory",
+    "DecodeResult",
+    "HammingSEC",
+    "HammingSECDED",
+    "ParityCodec",
+    "check_bits_for",
+]

@@ -1,0 +1,97 @@
+"""Common interface for error-detecting/correcting codes and a
+code-protected memory wrapper (the substrate TOMT [13] relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..memory.model import Memory
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword."""
+
+    data: int
+    error_detected: bool
+    corrected: bool
+    uncorrectable: bool = False
+
+
+class Codec(Protocol):
+    """An (n, k) systematic block code over one memory word."""
+
+    @property
+    def data_bits(self) -> int: ...
+
+    @property
+    def code_bits(self) -> int: ...
+
+    def encode(self, data: int) -> int: ...
+
+    def decode(self, codeword: int) -> DecodeResult: ...
+
+
+class CodedMemory:
+    """A data-word memory stored as codewords in a backing memory.
+
+    Reads decode and (for correcting codes) repair the stored word;
+    every detected error is counted, which is the detection channel the
+    TOMT baseline uses instead of a signature.
+
+    The backing memory is exposed so fault injection applies to the
+    *physical* codeword array — check bits can be faulty too, exactly as
+    in a real parity/Hamming-protected embedded memory.
+    """
+
+    def __init__(self, backing: Memory, codec: Codec) -> None:
+        if backing.width != codec.code_bits:
+            raise ValueError(
+                f"backing memory width {backing.width} != code width "
+                f"{codec.code_bits}"
+            )
+        self.backing = backing
+        self.codec = codec
+        self.errors_detected = 0
+        self.errors_corrected = 0
+        self.uncorrectable = 0
+
+    @property
+    def n_words(self) -> int:
+        return self.backing.n_words
+
+    @property
+    def width(self) -> int:
+        return self.codec.data_bits
+
+    def write(self, addr: int, data: int) -> None:
+        self.backing.write(addr, self.codec.encode(data))
+
+    def read(self, addr: int) -> int:
+        result = self.codec.decode(self.backing.read(addr))
+        if result.error_detected:
+            self.errors_detected += 1
+        if result.corrected:
+            self.errors_corrected += 1
+        if result.uncorrectable:
+            self.uncorrectable += 1
+        return result.data
+
+    def load_data(self, words) -> None:
+        """Initialize from plain data words (encoding each)."""
+        self.backing.load([self.codec.encode(w) for w in words])
+
+    def snapshot(self) -> list[int]:
+        """Decoded content view (March-executor compatible)."""
+        return self.snapshot_data()
+
+    def snapshot_data(self) -> list[int]:
+        """Decoded view of the current content (no error accounting)."""
+        return [self.codec.decode(w).data for w in self.backing.snapshot()]
+
+    def reset_counters(self) -> None:
+        self.errors_detected = 0
+        self.errors_corrected = 0
+        self.uncorrectable = 0

@@ -1,0 +1,149 @@
+"""Hamming SEC and extended Hamming SEC-DED codecs.
+
+Classic textbook construction: codeword positions are numbered from 1;
+power-of-two positions hold check bits, the rest hold data bits in
+order.  The syndrome is the XOR of the positions of set bits, which is
+0 for a clean word and equals the error position for a single-bit
+error.  The SEC-DED variant appends an overall parity bit that
+separates single (correctable) from double (detectable, uncorrectable)
+errors.
+"""
+
+from __future__ import annotations
+
+from .codec import DecodeResult
+
+
+def check_bits_for(data_bits: int) -> int:
+    """Number of Hamming check bits for *data_bits* data bits."""
+    if data_bits < 1:
+        raise ValueError("data_bits must be >= 1")
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+class HammingSEC:
+    """Single-error-correcting Hamming code over one memory word."""
+
+    def __init__(self, data_bits: int) -> None:
+        self._data_bits = data_bits
+        self._check_bits = check_bits_for(data_bits)
+        self._n = data_bits + self._check_bits
+        # Position (1-based) of each data bit within the codeword.
+        self._data_positions = [
+            pos
+            for pos in range(1, self._n + 1)
+            if pos & (pos - 1)  # not a power of two
+        ]
+        self._check_positions = [
+            pos for pos in range(1, self._n + 1) if not pos & (pos - 1)
+        ]
+
+    @property
+    def data_bits(self) -> int:
+        return self._data_bits
+
+    @property
+    def check_bits(self) -> int:
+        return self._check_bits
+
+    @property
+    def code_bits(self) -> int:
+        return self._n
+
+    # -- position <-> bit-index mapping -------------------------------------
+    def _spread(self, data: int) -> dict[int, int]:
+        """Place data bits at their codeword positions."""
+        placed = {}
+        for i, pos in enumerate(self._data_positions):
+            placed[pos] = (data >> i) & 1
+        return placed
+
+    def encode(self, data: int) -> int:
+        data &= (1 << self._data_bits) - 1
+        placed = self._spread(data)
+        syndrome = 0
+        for pos, bit in placed.items():
+            if bit:
+                syndrome ^= pos
+        for pos in self._check_positions:
+            placed[pos] = 1 if syndrome & pos else 0
+        codeword = 0
+        for pos, bit in placed.items():
+            if bit:
+                codeword |= 1 << (pos - 1)
+        return codeword
+
+    def _syndrome(self, codeword: int) -> int:
+        syndrome = 0
+        for pos in range(1, self._n + 1):
+            if (codeword >> (pos - 1)) & 1:
+                syndrome ^= pos
+        return syndrome
+
+    def _extract(self, codeword: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (codeword >> (pos - 1)) & 1:
+                data |= 1 << i
+        return data
+
+    def decode(self, codeword: int) -> DecodeResult:
+        syndrome = self._syndrome(codeword)
+        if syndrome == 0:
+            return DecodeResult(self._extract(codeword), False, False)
+        if syndrome <= self._n:
+            repaired = codeword ^ (1 << (syndrome - 1))
+            return DecodeResult(self._extract(repaired), True, True)
+        # Syndrome points outside the codeword: detectable but not
+        # correctable (possible with multi-bit errors).
+        return DecodeResult(
+            self._extract(codeword), True, False, uncorrectable=True
+        )
+
+
+class HammingSECDED:
+    """Extended Hamming code: corrects 1-bit, detects 2-bit errors."""
+
+    def __init__(self, data_bits: int) -> None:
+        self._inner = HammingSEC(data_bits)
+
+    @property
+    def data_bits(self) -> int:
+        return self._inner.data_bits
+
+    @property
+    def code_bits(self) -> int:
+        return self._inner.code_bits + 1
+
+    @property
+    def check_bits(self) -> int:
+        return self._inner.check_bits + 1
+
+    def encode(self, data: int) -> int:
+        inner = self._inner.encode(data)
+        overall = inner.bit_count() & 1
+        return inner | (overall << self._inner.code_bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        inner = codeword & ((1 << self._inner.code_bits) - 1)
+        stored_overall = (codeword >> self._inner.code_bits) & 1
+        parity_ok = (inner.bit_count() & 1) == stored_overall
+        syndrome = self._inner._syndrome(inner)
+
+        if syndrome == 0 and parity_ok:
+            return DecodeResult(self._inner._extract(inner), False, False)
+        if syndrome == 0 and not parity_ok:
+            # The overall parity bit itself flipped.
+            return DecodeResult(self._inner._extract(inner), True, True)
+        if not parity_ok:
+            # Odd number of flips: single-bit error, correctable.
+            result = self._inner.decode(inner)
+            return DecodeResult(result.data, True, result.corrected,
+                                uncorrectable=not result.corrected)
+        # Non-zero syndrome with clean overall parity: double error.
+        return DecodeResult(
+            self._inner._extract(inner), True, False, uncorrectable=True
+        )

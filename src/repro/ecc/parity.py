@@ -1,0 +1,43 @@
+"""Single-bit parity: the lightest protection TOMT supports."""
+
+from __future__ import annotations
+
+from .codec import DecodeResult
+
+
+class ParityCodec:
+    """(k+1, k) even or odd parity.
+
+    The parity bit is appended above the data bits.  Detects every
+    odd-weight error; corrects nothing.
+    """
+
+    def __init__(self, data_bits: int, even: bool = True) -> None:
+        if data_bits < 1:
+            raise ValueError("data_bits must be >= 1")
+        self._data_bits = data_bits
+        self.even = even
+
+    @property
+    def data_bits(self) -> int:
+        return self._data_bits
+
+    @property
+    def code_bits(self) -> int:
+        return self._data_bits + 1
+
+    def _parity_bit(self, data: int) -> int:
+        p = data.bit_count() & 1
+        return p if self.even else p ^ 1
+
+    def encode(self, data: int) -> int:
+        data &= (1 << self._data_bits) - 1
+        return data | (self._parity_bit(data) << self._data_bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        data = codeword & ((1 << self._data_bits) - 1)
+        stored = (codeword >> self._data_bits) & 1
+        bad = stored != self._parity_bit(data)
+        return DecodeResult(
+            data=data, error_detected=bad, corrected=False, uncorrectable=bad
+        )

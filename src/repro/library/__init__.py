@@ -1,0 +1,13 @@
+"""Catalog of classic March tests."""
+
+from .catalog import CATALOG, MARCH_CM, MARCH_U, CatalogEntry, entry, get, names
+
+__all__ = [
+    "CATALOG",
+    "CatalogEntry",
+    "MARCH_CM",
+    "MARCH_U",
+    "entry",
+    "get",
+    "names",
+]

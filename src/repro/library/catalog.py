@@ -1,0 +1,145 @@
+"""Catalog of classic bit-oriented March tests from the literature.
+
+Each entry records the notation, the source reference, and the fault
+classes the test is known to detect (100 % coverage under the
+single-fault assumption, per the cited papers).  The catalog feeds the
+transformation algorithms and the reproduction benchmarks; March C− and
+March U are the two tests evaluated in the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.march import MarchTest
+from ..core.notation import parse_march
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A March test together with its literature metadata."""
+
+    test: MarchTest
+    reference: str
+    detects: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def name(self) -> str:
+        return self.test.name
+
+
+def _entry(name: str, notation: str, reference: str, detects: set[str]) -> CatalogEntry:
+    return CatalogEntry(parse_march(notation, name), reference, frozenset(detects))
+
+
+_ENTRIES = [
+    _entry(
+        "MATS",
+        "⇕(w0); ⇕(r0,w1); ⇕(r1)",
+        "Nair, 1979",
+        {"SAF"},
+    ),
+    _entry(
+        "MATS+",
+        "⇕(w0); ⇑(r0,w1); ⇓(r1,w0)",
+        "Abadir & Reghbati, 1983",
+        {"SAF"},
+    ),
+    _entry(
+        "March X",
+        "⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)",
+        "van de Goor, 1991",
+        {"SAF", "TF", "CFin"},
+    ),
+    _entry(
+        "March Y",
+        "⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)",
+        "van de Goor, 1991",
+        {"SAF", "TF", "CFin"},
+    ),
+    _entry(
+        "March C-",
+        "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)",
+        "Marinescu, 1982 / van de Goor, 1993 [14]",
+        {"SAF", "TF", "CFin", "CFid", "CFst"},
+    ),
+    _entry(
+        "March C",
+        "⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇕(r0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)",
+        "Marinescu, 1982",
+        {"SAF", "TF", "CFin", "CFid", "CFst"},
+    ),
+    _entry(
+        "March A",
+        "⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)",
+        "Suk & Reddy, 1981",
+        {"SAF", "TF", "CFin"},
+    ),
+    _entry(
+        "March B",
+        "⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)",
+        "Suk & Reddy, 1981",
+        {"SAF", "TF", "CFin"},
+    ),
+    _entry(
+        "March U",
+        "⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)",
+        "van de Goor & Gaydadjiev, 1997 [15]",
+        {"SAF", "TF", "CFin", "CFid", "CFst"},
+    ),
+    _entry(
+        "March LR",
+        "⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0)",
+        "van de Goor et al., 1996",
+        {"SAF", "TF", "CFin", "CFid", "CFst"},
+    ),
+    _entry(
+        "March SR",
+        "⇓(w0); ⇑(r0,w1,r1,w0); ⇑(r0,r0); ⇑(w1); ⇓(r1,w0,r0,w1); ⇓(r1,r1)",
+        "Hamdioui & van de Goor, 2000",
+        {"SAF", "TF", "CFin", "CFid", "CFst"},
+    ),
+    _entry(
+        "March SS",
+        "⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); "
+        "⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)",
+        "Hamdioui, van de Goor & Rodgers, 2002",
+        {"SAF", "TF", "CFin", "CFid", "CFst", "RDF", "DRDF"},
+    ),
+    _entry(
+        "March RAW",
+        "⇕(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0); "
+        "⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); ⇕(r0)",
+        "Hamdioui, Al-Ars & van de Goor, 2003",
+        {"SAF", "TF", "CFin", "CFid", "CFst", "RDF", "DRDF"},
+    ),
+]
+
+CATALOG: dict[str, CatalogEntry] = {e.name: e for e in _ENTRIES}
+
+
+def get(name: str) -> MarchTest:
+    """Look up a March test by name (raises ``KeyError`` if unknown)."""
+    try:
+        return CATALOG[name].test
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown march test {name!r}; known tests: {known}") from None
+
+
+def entry(name: str) -> CatalogEntry:
+    """Look up a catalog entry (test + metadata) by name."""
+    if name not in CATALOG:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown march test {name!r}; known tests: {known}")
+    return CATALOG[name]
+
+
+def names() -> list[str]:
+    """All catalog test names, in canonical order."""
+    return [e.name for e in _ENTRIES]
+
+
+# Convenience module-level handles for the two tests evaluated in the paper.
+MARCH_CM = get("March C-")
+MARCH_U = get("March U")

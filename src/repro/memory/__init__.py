@@ -1,0 +1,55 @@
+"""Word-oriented memory model, fault models, and fault injection."""
+
+from .faults import (
+    FAULT_KINDS,
+    AddressDecoderFault,
+    Cell,
+    CouplingFault,
+    Fault,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from .injection import (
+    FaultyMemory,
+    all_cells,
+    enumerate_address_faults,
+    enumerate_inter_word_cf,
+    enumerate_intra_word_cf,
+    enumerate_read_disturb,
+    enumerate_stuck_at,
+    enumerate_transition,
+    standard_fault_universe,
+)
+from .model import Memory, words_equal
+from .traces import AccessEvent, TraceRecorder
+
+__all__ = [
+    "AccessEvent",
+    "AddressDecoderFault",
+    "Cell",
+    "CouplingFault",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultyMemory",
+    "IdempotentCouplingFault",
+    "InversionCouplingFault",
+    "Memory",
+    "ReadDisturbFault",
+    "StateCouplingFault",
+    "StuckAtFault",
+    "TraceRecorder",
+    "TransitionFault",
+    "all_cells",
+    "enumerate_address_faults",
+    "enumerate_inter_word_cf",
+    "enumerate_intra_word_cf",
+    "enumerate_read_disturb",
+    "enumerate_stuck_at",
+    "enumerate_transition",
+    "standard_fault_universe",
+    "words_equal",
+]

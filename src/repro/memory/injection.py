@@ -1,0 +1,310 @@
+"""Fault injection: a memory that honours injected functional faults,
+plus exhaustive/sampled fault-universe enumerators for campaigns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence
+
+from .faults import (
+    AddressDecoderFault,
+    Cell,
+    CouplingFault,
+    Fault,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from .model import Memory
+
+
+class FaultyMemory(Memory):
+    """A :class:`Memory` whose storage obeys injected fault semantics.
+
+    Faults can be supplied at construction or injected later; static
+    conditions (stuck-at values, CFst forcing) are re-established after
+    every bulk load so that the *initial* content already reflects the
+    defect, as in real silicon.
+    """
+
+    def __init__(
+        self,
+        n_words: int,
+        width: int,
+        faults: Iterable[Fault] = (),
+        fill: int = 0,
+    ) -> None:
+        self._faults: list[Fault] = []
+        super().__init__(n_words, width, fill)
+        for fault in faults:
+            self.inject(fault)
+
+    # -- fault management ------------------------------------------------
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return tuple(self._faults)
+
+    def inject(self, fault: Fault) -> None:
+        fault.validate(self.n_words, self.width)
+        self._faults.append(fault)
+        self._enforce_static()
+
+    def clear_faults(self) -> None:
+        self._faults.clear()
+
+    # -- storage semantics -------------------------------------------------
+    def _address_fault(self, addr: int) -> AddressDecoderFault | None:
+        for fault in self._faults:
+            if isinstance(fault, AddressDecoderFault) and fault.addr == addr:
+                return fault
+        return None
+
+    def _store(self, addr: int, value: int) -> None:
+        af = self._address_fault(addr)
+        if af is None:
+            self._store_word(addr, value)
+        elif af.kind_code == "none":
+            return  # write lost: no cell selected
+        elif af.kind_code == "other":
+            self._store_word(af.other_addr, value)
+        else:  # multi
+            self._store_word(addr, value)
+            self._store_word(af.other_addr, value)
+
+    def _fetch(self, addr: int) -> int:
+        af = self._address_fault(addr)
+        if af is None:
+            return self._read_word(addr)
+        if af.kind_code == "none":
+            return af.float_value & self._mask
+        if af.kind_code == "other":
+            return self._read_word(af.other_addr)
+        a = self._read_word(addr)
+        b = self._read_word(af.other_addr)
+        return (a | b) if af.wired_or else (a & b)
+
+    def _read_word(self, addr: int) -> int:
+        """Fetch one physical word, applying read-disturb effects."""
+        value = self._words[addr]
+        returned = value
+        disturbed = False
+        for fault in self._faults:
+            if isinstance(fault, ReadDisturbFault) and fault.cell.addr == addr:
+                mask = 1 << fault.cell.bit
+                self._words[addr] ^= mask
+                disturbed = True
+                if not fault.deceptive:
+                    returned ^= mask
+        if disturbed:
+            self._enforce_static()
+        return returned
+
+    def _store_word(self, addr: int, value: int) -> None:
+        old = self._words[addr]
+        new = value
+        # Per-cell write faults on the target word (SAF force, TF block).
+        for fault in self._faults:
+            if isinstance(fault, StuckAtFault) and fault.cell.addr == addr:
+                bit = fault.cell.bit
+                new = (new & ~(1 << bit)) | (fault.value << bit)
+            elif isinstance(fault, TransitionFault) and fault.cell.addr == addr:
+                bit = fault.cell.bit
+                old_b = (old >> bit) & 1
+                new_b = (new >> bit) & 1
+                blocked = (
+                    (fault.rising and old_b == 0 and new_b == 1)
+                    or (not fault.rising and old_b == 1 and new_b == 0)
+                )
+                if blocked:
+                    new = (new & ~(1 << bit)) | (old_b << bit)
+        self._words[addr] = new
+
+        # Coupling effects triggered by aggressor transitions in this word.
+        for fault in self._faults:
+            if not isinstance(fault, CouplingFault):
+                continue
+            aggr = fault.aggressor
+            if aggr.addr != addr:
+                continue
+            a_old = (old >> aggr.bit) & 1
+            a_new = (self._words[addr] >> aggr.bit) & 1
+            if a_old == a_new:
+                continue
+            rising = a_new == 1
+            if isinstance(fault, IdempotentCouplingFault):
+                if rising == fault.rising:
+                    self._set_cell(fault.victim, fault.forced_value)
+            elif isinstance(fault, InversionCouplingFault):
+                if rising == fault.rising:
+                    self._set_cell(
+                        fault.victim, 1 - self._cell(fault.victim)
+                    )
+        self._enforce_static()
+
+    def _after_load(self) -> None:
+        self._enforce_static()
+
+    def _enforce_static(self) -> None:
+        """Re-apply state-holding fault conditions to the stored data."""
+        for fault in self._faults:
+            if isinstance(fault, StuckAtFault):
+                self._set_cell(fault.cell, fault.value)
+        for fault in self._faults:
+            if isinstance(fault, StateCouplingFault):
+                if self._cell(fault.aggressor) == fault.aggressor_value:
+                    self._set_cell(fault.victim, fault.forced_value)
+
+    # -- raw cell helpers (bypass access counting) ---------------------------
+    def _cell(self, cell: Cell) -> int:
+        return (self._words[cell.addr] >> cell.bit) & 1
+
+    def _set_cell(self, cell: Cell, value: int) -> None:
+        word = self._words[cell.addr]
+        self._words[cell.addr] = (word & ~(1 << cell.bit)) | (value << cell.bit)
+
+
+# ---------------------------------------------------------------------------
+# Fault-universe enumeration
+# ---------------------------------------------------------------------------
+
+
+def all_cells(n_words: int, width: int) -> Iterator[Cell]:
+    for addr in range(n_words):
+        for bit in range(width):
+            yield Cell(addr, bit)
+
+
+def enumerate_stuck_at(n_words: int, width: int) -> Iterator[StuckAtFault]:
+    """Both SAF polarities for every cell (``2 * n * b`` faults)."""
+    for cell in all_cells(n_words, width):
+        yield StuckAtFault(cell, 0)
+        yield StuckAtFault(cell, 1)
+
+
+def enumerate_transition(n_words: int, width: int) -> Iterator[TransitionFault]:
+    """Both TF directions for every cell (``2 * n * b`` faults)."""
+    for cell in all_cells(n_words, width):
+        yield TransitionFault(cell, rising=True)
+        yield TransitionFault(cell, rising=False)
+
+
+def enumerate_read_disturb(
+    n_words: int, width: int, *, deceptive: bool | None = None
+) -> Iterator[ReadDisturbFault]:
+    """RDF and/or DRDF for every cell.
+
+    ``deceptive=None`` yields both flavours; ``True``/``False``
+    restricts to DRDF/RDF respectively.
+    """
+    flavours = (False, True) if deceptive is None else (deceptive,)
+    for cell in all_cells(n_words, width):
+        for flavour in flavours:
+            yield ReadDisturbFault(cell, deceptive=flavour)
+
+
+def enumerate_address_faults(
+    n_words: int, *, wired_or: bool = False
+) -> Iterator[AddressDecoderFault]:
+    """The AF universe: one AF-1 per address plus AF-2/AF-3 for every
+    ordered address pair (``n + 2 * n * (n-1)`` faults)."""
+    for addr in range(n_words):
+        yield AddressDecoderFault(addr, "none")
+    for addr, other in itertools.permutations(range(n_words), 2):
+        yield AddressDecoderFault(addr, "other", other)
+        yield AddressDecoderFault(addr, "multi", other, wired_or=wired_or)
+
+
+def _coupling_variants(
+    aggressor: Cell, victim: Cell, kinds: Sequence[str]
+) -> Iterator[CouplingFault]:
+    if "CFst" in kinds:
+        for y, x in itertools.product((0, 1), repeat=2):
+            yield StateCouplingFault(aggressor, victim, y, x)
+    if "CFid" in kinds:
+        for rising, x in itertools.product((True, False), (0, 1)):
+            yield IdempotentCouplingFault(aggressor, victim, rising, x)
+    if "CFin" in kinds:
+        for rising in (True, False):
+            yield InversionCouplingFault(aggressor, victim, rising)
+
+
+_CF_KINDS = ("CFst", "CFid", "CFin")
+
+
+def enumerate_intra_word_cf(
+    n_words: int,
+    width: int,
+    kinds: Sequence[str] = _CF_KINDS,
+    addresses: Iterable[int] | None = None,
+) -> Iterator[CouplingFault]:
+    """All ordered intra-word bit pairs with the requested CF kinds."""
+    addr_range = range(n_words) if addresses is None else addresses
+    for addr in addr_range:
+        for a_bit, v_bit in itertools.permutations(range(width), 2):
+            yield from _coupling_variants(
+                Cell(addr, a_bit), Cell(addr, v_bit), kinds
+            )
+
+
+def enumerate_inter_word_cf(
+    n_words: int,
+    width: int,
+    kinds: Sequence[str] = _CF_KINDS,
+    *,
+    same_bit_only: bool = True,
+    max_pairs: int | None = None,
+    rng: random.Random | None = None,
+) -> Iterator[CouplingFault]:
+    """Inter-word coupling faults.
+
+    The full cross product is quartic in memory size; by default the
+    classic bit-oriented assumption is used (aggressor and victim share
+    the bit position, as cells in one physical column/row), optionally
+    down-sampled to *max_pairs* ordered cell pairs with *rng*.
+    """
+    pairs: list[tuple[Cell, Cell]] = []
+    for a_addr, v_addr in itertools.permutations(range(n_words), 2):
+        if same_bit_only:
+            for a_bit in range(width):
+                pairs.append((Cell(a_addr, a_bit), Cell(v_addr, a_bit)))
+        else:
+            for a_bit, v_bit in itertools.product(range(width), repeat=2):
+                pairs.append((Cell(a_addr, a_bit), Cell(v_addr, v_bit)))
+    if max_pairs is not None and len(pairs) > max_pairs:
+        rng = rng if rng is not None else random.Random(0)
+        pairs = rng.sample(pairs, max_pairs)
+    for aggressor, victim in pairs:
+        yield from _coupling_variants(aggressor, victim, kinds)
+
+
+def standard_fault_universe(
+    n_words: int,
+    width: int,
+    *,
+    max_inter_pairs: int | None = None,
+    rng: random.Random | None = None,
+) -> dict[str, list[Fault]]:
+    """The Section 2 fault universe grouped by class name.
+
+    Keys: ``SAF``, ``TF``, ``CFst-intra``, ``CFid-intra``, ``CFin-intra``,
+    ``CFst-inter``, ``CFid-inter``, ``CFin-inter``.
+    """
+    universe: dict[str, list[Fault]] = {
+        "SAF": list(enumerate_stuck_at(n_words, width)),
+        "TF": list(enumerate_transition(n_words, width)),
+    }
+    for kind in _CF_KINDS:
+        universe[f"{kind}-intra"] = list(
+            enumerate_intra_word_cf(n_words, width, (kind,))
+        )
+        universe[f"{kind}-inter"] = list(
+            enumerate_inter_word_cf(
+                n_words, width, (kind,), max_pairs=max_inter_pairs, rng=rng
+            )
+        )
+    return universe

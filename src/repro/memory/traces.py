@@ -1,0 +1,48 @@
+"""Access-trace recording for memory models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One memory access: ``kind`` is ``"r"`` or ``"w"``."""
+
+    kind: str
+    addr: int
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}[{self.addr}]={self.value:#x}"
+
+
+class Observer(Protocol):
+    """Anything that can receive :class:`AccessEvent` notifications."""
+
+    def notify(self, event: AccessEvent) -> None: ...
+
+
+@dataclass
+class TraceRecorder:
+    """Observer that stores every access event in order."""
+
+    events: list[AccessEvent] = field(default_factory=list)
+
+    def notify(self, event: AccessEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    @property
+    def reads(self) -> list[AccessEvent]:
+        return [e for e in self.events if e.kind == "r"]
+
+    @property
+    def writes(self) -> list[AccessEvent]:
+        return [e for e in self.events if e.kind == "w"]
+
+    def __len__(self) -> int:
+        return len(self.events)

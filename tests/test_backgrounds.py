@@ -1,0 +1,85 @@
+"""Tests for data-background plans."""
+
+import pytest
+
+from repro.core.backgrounds import (
+    background_plan,
+    checker_backgrounds,
+    covers_all_pairs,
+    format_background,
+    is_power_of_two,
+    log2_width,
+    minimal_plan_size,
+    n_backgrounds,
+)
+
+
+class TestLog2Width:
+    @pytest.mark.parametrize("width,expected", [(1, 0), (2, 1), (4, 2), (8, 3), (32, 5), (128, 7)])
+    def test_powers(self, width, expected):
+        assert log2_width(width) == expected
+
+    @pytest.mark.parametrize("width", [0, 3, 5, 6, 7, 12, 100, -4])
+    def test_rejects_non_powers(self, width):
+        with pytest.raises(ValueError):
+            log2_width(width)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(64)
+        assert not is_power_of_two(0) and not is_power_of_two(6)
+
+
+class TestPlans:
+    def test_paper_plan_width4(self):
+        # Section 3's example: D = 0000, 0101, 0011.
+        assert background_plan(4) == [0b0000, 0b0101, 0b0011]
+
+    def test_plan_width8(self):
+        assert background_plan(8) == [0, 0b01010101, 0b00110011, 0b00001111]
+
+    def test_plan_size(self):
+        for width in (1, 2, 4, 8, 16, 32, 64, 128):
+            assert len(background_plan(width)) == n_backgrounds(width)
+            assert n_backgrounds(width) == log2_width(width) + 1
+
+    def test_width1_plan(self):
+        assert background_plan(1) == [0]
+        assert checker_backgrounds(1) == []
+
+    def test_checker_backgrounds_distinct(self):
+        for width in (4, 8, 16, 32):
+            plan = checker_backgrounds(width)
+            assert len(set(plan)) == len(plan)
+
+
+class TestPairCoverage:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32, 64])
+    def test_checkers_separate_all_pairs(self, width):
+        assert covers_all_pairs(checker_backgrounds(width), width)
+
+    def test_solid_backgrounds_do_not(self):
+        assert not covers_all_pairs([0b0000, 0b1111], 4)
+
+    def test_single_checker_insufficient_for_width4(self):
+        # D1 = 0101 cannot distinguish bits 0 and 2.
+        assert not covers_all_pairs([0b0101], 4)
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_plan_size_is_optimal(self, width):
+        # log2(b) checkerboards achieve the information-theoretic bound.
+        assert len(checker_backgrounds(width)) == minimal_plan_size(width)
+
+    def test_minimal_plan_size_edges(self):
+        assert minimal_plan_size(1) == 0
+        assert minimal_plan_size(2) == 1
+        with pytest.raises(ValueError):
+            minimal_plan_size(0)
+
+
+class TestFormatting:
+    def test_format_background(self):
+        assert format_background(0b0101, 4) == "0101"
+        assert format_background(0xFF, 8) == "11111111"
+
+    def test_format_truncates(self):
+        assert format_background(0x1F, 4) == "1111"

@@ -1,0 +1,79 @@
+"""Tests for the March-test catalog."""
+
+import pytest
+
+from repro.core.validate import validate_solid
+from repro.library import CATALOG, MARCH_CM, MARCH_U, entry, get, names
+
+
+# (name, N, Q) per the literature.
+EXPECTED_COUNTS = {
+    "MATS": (4, 2),
+    "MATS+": (5, 2),
+    "March X": (6, 3),
+    "March Y": (8, 5),
+    "March C-": (10, 5),
+    "March C": (11, 6),
+    "March A": (15, 4),
+    "March B": (17, 6),
+    "March U": (13, 6),
+    "March LR": (14, 7),
+    "March SR": (14, 8),
+    "March SS": (22, 13),
+    "March RAW": (26, 17),
+}
+
+
+class TestCatalogContents:
+    def test_names_complete(self):
+        assert set(names()) == set(EXPECTED_COUNTS)
+
+    @pytest.mark.parametrize("name", list(EXPECTED_COUNTS))
+    def test_operation_counts(self, name):
+        n, q = EXPECTED_COUNTS[name]
+        test = get(name)
+        assert test.op_count == n, f"{name}: N={test.op_count}, expected {n}"
+        assert test.n_reads == q, f"{name}: Q={test.n_reads}, expected {q}"
+
+    @pytest.mark.parametrize("name", list(EXPECTED_COUNTS))
+    def test_all_tests_are_consistent(self, name):
+        report = validate_solid(get(name))
+        assert report.ok, f"{name}: {report}"
+
+    @pytest.mark.parametrize("name", list(EXPECTED_COUNTS))
+    def test_all_tests_are_bit_oriented_solid(self, name):
+        assert get(name).is_solid_form
+
+    def test_entries_have_references(self):
+        for e in CATALOG.values():
+            assert e.reference
+            assert e.name == e.test.name
+
+    def test_march_cm_handle(self):
+        assert MARCH_CM.name == "March C-"
+        assert MARCH_U.name == "March U"
+
+    def test_march_cm_detects_all_cf(self):
+        detects = entry("March C-").detects
+        assert {"SAF", "TF", "CFin", "CFid", "CFst"} <= detects
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="March C-"):
+            get("March Z")
+        with pytest.raises(KeyError):
+            entry("March Z")
+
+    def test_march_u_structure_matches_paper(self):
+        # Section 4 of the paper quotes March U explicitly.
+        assert str(MARCH_U) == (
+            "{⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)}"
+        )
+
+    def test_march_cm_structure_matches_paper(self):
+        assert str(MARCH_CM) == (
+            "{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}"
+        )
+
+    def test_all_start_with_pure_write_init(self):
+        for name in names():
+            assert get(name).elements[0].is_pure_write, name

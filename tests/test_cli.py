@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "March C-" in out
+        assert "March U" in out
+        assert "March RAW" in out
+
+
+class TestShow:
+    def test_shows_test(self, capsys):
+        assert main(["show", "March C-"]) == 0
+        out = capsys.readouterr().out
+        assert "⇑(r0,w1)" in out
+        assert "reference" in out
+
+    def test_ascii_flag(self, capsys):
+        assert main(["show", "March C-", "--ascii"]) == 0
+        assert "up(r0,w1)" in capsys.readouterr().out
+
+    def test_unknown_test(self, capsys):
+        assert main(["show", "March Z"]) == 2
+        assert "March Z" in capsys.readouterr().err
+
+
+class TestTransform:
+    def test_twm(self, capsys):
+        assert main(["transform", "March U", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TCM 29n" in out
+        assert "ATMarch" in out
+
+    def test_scheme1(self, capsys):
+        assert main(
+            ["transform", "March C-", "--width", "4", "--scheme", "scheme1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "background passes" in out
+
+    def test_ascii(self, capsys):
+        assert main(["transform", "March C-", "--width", "4", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "any(" in out
+        assert "⇕" not in out
+
+    def test_bad_width(self, capsys):
+        assert main(["transform", "March C-", "--width", "12"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+
+class TestComplexity:
+    def test_default_sweep(self, capsys):
+        assert main(["complexity"]) == 0
+        out = capsys.readouterr().out
+        assert "March C-" in out and "128" in out
+
+    def test_custom_widths(self, capsys):
+        assert main(["complexity", "--widths", "8", "--tests", "March U"]) == 0
+        out = capsys.readouterr().out
+        assert "March U" in out
+        assert "March C-" not in out
+
+
+class TestCoverage:
+    def test_runs_campaign(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SAF: " in out
+        assert "overall" in out
+
+
+class TestValidate:
+    def test_valid_solid(self, capsys):
+        assert main(["validate", "⇕(w0); ⇑(r0,w1); ⇕(r1)"]) == 0
+        assert "valid solid" in capsys.readouterr().out
+
+    def test_valid_transparent(self, capsys):
+        assert main(["validate", "⇕(rc,w~c); ⇕(r~c,wc); ⇕(rc)"]) == 0
+        assert "valid transparent" in capsys.readouterr().out
+
+    def test_invalid_test(self, capsys):
+        assert main(["validate", "⇕(w0); ⇑(r1,w1)"]) == 1
+        assert "read expects" in capsys.readouterr().err
+
+    def test_parse_error(self, capsys):
+        assert main(["validate", "nonsense"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,137 @@
+"""Tests for the complexity accounting (Tables 2 & 3, headline ratios)."""
+
+import pytest
+
+from repro.core.complexity import (
+    headline_ratios,
+    scheme1_cost,
+    scheme1_paper_cost,
+    table2_rows,
+    table3_rows,
+    tomt_cost,
+    twm_cost,
+    twm_formula_tcm,
+    twm_formula_tcp,
+)
+from repro.library import catalog
+
+
+class TestSchemeCosts:
+    def test_twm_march_cm_32(self):
+        cost = twm_cost(catalog.get("March C-"), 32)
+        assert (cost.tcm, cost.tcp, cost.total) == (35, 21, 56)
+
+    def test_twm_march_u_8(self):
+        cost = twm_cost(catalog.get("March U"), 8)
+        assert (cost.tcm, cost.tcp) == (29, 17)
+
+    def test_formula_functions(self):
+        assert twm_formula_tcm(10, 32) == 35
+        assert twm_formula_tcp(5, 32) == 21
+
+    def test_scheme1_march_cm_32(self):
+        measured = scheme1_cost(catalog.get("March C-"), 32)
+        formula = scheme1_paper_cost(catalog.get("March C-"), 32)
+        assert formula.tcm == 60
+        assert formula.tcp == 35
+        assert measured.tcm >= formula.tcm  # executable costs a bit more
+
+    def test_tomt_32(self):
+        cost = tomt_cost(32)
+        assert cost.tcm == 290
+        assert cost.tcp == 0
+        assert cost.total == 290
+
+    def test_render(self):
+        assert "TCM 35n" in twm_cost(catalog.get("March C-"), 32).render()
+
+
+class TestHeadlineRatios:
+    """The paper's claim: ~56 % of Scheme 1 and ~19 % of TOMT."""
+
+    def setup_method(self):
+        self.h = headline_ratios(catalog.get("March C-"), 32)
+
+    def test_this_work_total_is_56n(self):
+        assert self.h.this_work.total == 56
+
+    def test_ratio_vs_scheme1_in_claimed_band(self):
+        # Paper says "about 56%"; measured construction gives ~55%,
+        # the paper-consistent closed form ~59%.
+        assert 0.50 <= self.h.vs_scheme1 <= 0.62
+        assert 0.50 <= self.h.vs_scheme1_formula <= 0.62
+
+    def test_ratio_vs_tomt_in_claimed_band(self):
+        # Paper says "about 19%".
+        assert 0.17 <= self.h.vs_tomt <= 0.21
+
+    def test_march_u_ratios_same_shape(self):
+        h = headline_ratios(catalog.get("March U"), 32)
+        assert h.vs_scheme1 < 0.7
+        assert h.vs_tomt < 0.25
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 3
+        schemes = [r[0] for r in rows]
+        assert schemes == ["Scheme 1 [12]", "Scheme 2 [13]", "This work"]
+        assert "5*log2 b" in rows[2][1]
+        assert rows[1][2] == "none (online)"
+
+
+class TestTable3:
+    def test_full_sweep(self):
+        rows = table3_rows(
+            [catalog.get("March C-"), catalog.get("March U")],
+            widths=(16, 32, 64, 128),
+        )
+        assert len(rows) == 8
+
+    def test_this_work_always_smallest(self):
+        for row in table3_rows(
+            [catalog.get("March C-"), catalog.get("March U")]
+        ):
+            assert row.this_work.total < row.scheme1_measured.total
+            assert row.this_work.total < row.tomt.total
+
+    def test_scheme1_grows_multiplicatively(self):
+        rows = table3_rows([catalog.get("March C-")], widths=(16, 128))
+        small, large = rows[0], rows[1]
+        growth_s1 = large.scheme1_measured.total / small.scheme1_measured.total
+        growth_twm = large.this_work.total / small.this_work.total
+        assert growth_s1 > growth_twm
+
+    def test_tomt_independent_of_test(self):
+        rows = table3_rows(
+            [catalog.get("March C-"), catalog.get("March U")], widths=(32,)
+        )
+        assert rows[0].tomt.total == rows[1].tomt.total == 290
+
+    def test_ratios_tighten_with_width(self):
+        # The wider the word, the bigger the advantage vs TOMT.
+        rows = table3_rows([catalog.get("March C-")], widths=(16, 128))
+        assert rows[1].ratio_vs_tomt < rows[0].ratio_vs_tomt
+
+    def test_row_accessors(self):
+        (row,) = table3_rows([catalog.get("March C-")], widths=(32,))
+        assert row.test == "March C-"
+        assert row.width == 32
+        assert 0 < row.ratio_vs_scheme1 < 1
+        assert 0 < row.ratio_vs_tomt < 1
+
+
+class TestFormulaAgainstMeasured:
+    @pytest.mark.parametrize("name", ["March C-", "March X", "March Y", "March LR"])
+    @pytest.mark.parametrize("width", [4, 16, 64])
+    def test_twm_formula_exact_for_read_ending(self, name, width):
+        test = catalog.get(name)
+        cost = twm_cost(test, width)
+        assert cost.tcm == twm_formula_tcm(test.op_count, width)
+
+    @pytest.mark.parametrize("width", [4, 16, 64])
+    def test_twm_formula_off_by_one_for_write_ending(self, width):
+        test = catalog.get("March U")
+        cost = twm_cost(test, width)
+        assert cost.tcm == twm_formula_tcm(test.op_count, width) + 1

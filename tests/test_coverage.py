@@ -1,0 +1,206 @@
+"""Tests for fault-coverage campaign machinery."""
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import (
+    aliasing_flow,
+    compare_flow,
+    compare_reports,
+    run_campaign,
+    signature_flow,
+)
+from repro.core.twm import nontransparent_word_reference, twm_transform
+from repro.library import catalog
+from repro.memory.injection import (
+    enumerate_stuck_at,
+    enumerate_transition,
+    enumerate_inter_word_cf,
+    standard_fault_universe,
+)
+
+
+N_WORDS, WIDTH = 4, 4
+
+
+@pytest.fixture(scope="module")
+def twm():
+    return twm_transform(catalog.get("March C-"), WIDTH)
+
+
+class TestBitOrientedCoverage:
+    """Classic results on a bit-oriented (width 1) memory."""
+
+    def _campaign(self, test, universe):
+        flow = compare_flow(test, 8, 1, initial=0)
+        return run_campaign(flow, universe)
+
+    def test_march_cm_100pct_saf(self):
+        rep = self._campaign(
+            catalog.get("March C-"), {"SAF": list(enumerate_stuck_at(8, 1))}
+        )
+        assert rep.classes["SAF"].percent == 100.0
+
+    def test_march_cm_100pct_tf(self):
+        rep = self._campaign(
+            catalog.get("March C-"), {"TF": list(enumerate_transition(8, 1))}
+        )
+        assert rep.classes["TF"].percent == 100.0
+
+    def test_march_cm_100pct_inter_cf(self):
+        universe = {
+            "CF": list(enumerate_inter_word_cf(6, 1))
+        }
+        rep = self._campaign(catalog.get("March C-"), universe)
+        assert rep.classes["CF"].percent == 100.0
+
+    def test_mats_plus_misses_cf(self):
+        universe = {"CF": list(enumerate_inter_word_cf(6, 1))}
+        rep = self._campaign(catalog.get("MATS+"), universe)
+        assert rep.classes["CF"].percent < 100.0
+
+    def test_mats_plus_catches_saf(self):
+        rep = self._campaign(
+            catalog.get("MATS+"), {"SAF": list(enumerate_stuck_at(8, 1))}
+        )
+        assert rep.classes["SAF"].percent == 100.0
+
+
+class TestCampaignReporting:
+    def test_report_counts(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=None, seed=1)
+        rep = run_campaign(flow, universe, flow_name="twm")
+        assert rep.total == 2 * N_WORDS * WIDTH
+        assert rep.detected == rep.total
+        assert rep.percent == 100.0
+        assert "twm" in rep.render()
+
+    def test_undetected_kept(self):
+        universe = {"CF": list(enumerate_inter_word_cf(6, 1))}
+        flow = compare_flow(catalog.get("MATS+"), 6, 1, initial=0)
+        rep = run_campaign(flow, universe, keep_undetected=3)
+        assert 0 < len(rep.undetected["CF"]) <= 3
+
+    def test_compare_reports_alignment(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=0)
+        a = run_campaign(flow, universe, flow_name="a")
+        b = run_campaign(flow, universe, flow_name="b")
+        rows = compare_reports(a, b)
+        assert rows == [("SAF", 100.0, 100.0, 0.0)]
+
+    def test_coverage_vector(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=0)
+        rep = run_campaign(flow, universe)
+        assert rep.coverage_vector() == {"SAF": 100.0}
+
+
+class TestSection5Equality:
+    """The paper's coverage theorem, on a reduced universe (the full
+    sweep is benchmark E7)."""
+
+    def test_equality_on_main_classes(self, twm):
+        universe = standard_fault_universe(
+            N_WORDS, WIDTH, max_inter_pairs=12, rng=random.Random(0)
+        )
+        # Drop the class where transparent testing fundamentally differs
+        # (static CFst expression; see EXPERIMENTS.md).
+        universe.pop("CFst-intra")
+        ref = nontransparent_word_reference(catalog.get("March C-"), WIDTH)
+        rep_ref = run_campaign(
+            compare_flow(ref, N_WORDS, WIDTH, initial=0), universe
+        )
+        rep_twm = run_campaign(
+            compare_flow(
+                twm.twmarch, N_WORDS, WIDTH, initial=None, seed=7,
+                derive_writes=False,
+            ),
+            universe,
+        )
+        for name, pa, pb, delta in compare_reports(rep_twm, rep_ref):
+            assert delta == 0.0, f"{name}: twm={pa} ref={pb}"
+
+    def test_cfst_intra_gap_direction(self, twm):
+        # The non-transparent reference sees statically-expressed CFst
+        # that any transparent test misses: ref >= twm, strictly here.
+        universe = standard_fault_universe(N_WORDS, WIDTH, max_inter_pairs=4)
+        universe = {"CFst-intra": universe["CFst-intra"]}
+        ref = nontransparent_word_reference(catalog.get("March C-"), WIDTH)
+        rep_ref = run_campaign(
+            compare_flow(ref, N_WORDS, WIDTH, initial=0), universe
+        )
+        rep_twm = run_campaign(
+            compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=None, seed=7),
+            universe,
+        )
+        assert (
+            rep_ref.classes["CFst-intra"].percent
+            > rep_twm.classes["CFst-intra"].percent
+        )
+
+    def test_equality_holds_for_march_u_too(self):
+        # The theorem is per-test; repeat the check on the paper's other
+        # evaluated test.
+        mu = twm_transform(catalog.get("March U"), WIDTH)
+        universe = standard_fault_universe(
+            N_WORDS, WIDTH, max_inter_pairs=8, rng=random.Random(4)
+        )
+        universe.pop("CFst-intra")
+        ref = nontransparent_word_reference(catalog.get("March U"), WIDTH)
+        rep_ref = run_campaign(
+            compare_flow(ref, N_WORDS, WIDTH, initial=0), universe
+        )
+        rep_twm = run_campaign(
+            compare_flow(
+                mu.twmarch, N_WORDS, WIDTH, initial=None, seed=21,
+                derive_writes=False,
+            ),
+            universe,
+        )
+        for name, pa, pb, delta in compare_reports(rep_twm, rep_ref):
+            assert delta == 0.0, f"{name}: twm={pa} ref={pb}"
+
+    def test_coverage_independent_of_initial_content(self, twm):
+        # The closed fault universe makes transparent coverage exactly
+        # content-independent (the XOR bijection argument).
+        universe = standard_fault_universe(
+            N_WORDS, WIDTH, max_inter_pairs=8, rng=random.Random(1)
+        )
+        vectors = []
+        for seed in (11, 22):
+            rep = run_campaign(
+                compare_flow(
+                    twm.twmarch, N_WORDS, WIDTH, initial=None, seed=seed
+                ),
+                universe,
+            )
+            vectors.append(rep.coverage_vector())
+        assert vectors[0] == vectors[1]
+
+
+class TestSignatureFlows:
+    def test_signature_flow_detects(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = signature_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH, initial=None, seed=2
+        )
+        rep = run_campaign(flow, universe)
+        assert rep.classes["SAF"].percent == 100.0
+
+    def test_aliasing_flow_returns_pair(self, twm):
+        flow = aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH, misr_width=16
+        )
+        fault = next(iter(enumerate_stuck_at(N_WORDS, WIDTH)))
+        stream, signature = flow(fault)
+        assert stream and signature
+
+    def test_initial_as_sequence(self, twm):
+        flow = compare_flow(
+            twm.twmarch, N_WORDS, WIDTH, initial=[1, 2, 3, 4]
+        )
+        fault = next(iter(enumerate_stuck_at(N_WORDS, WIDTH)))
+        assert flow(fault) in (True, False)

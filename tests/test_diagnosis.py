@@ -1,0 +1,142 @@
+"""Tests for fault diagnosis from read logs."""
+
+import random
+
+import pytest
+
+from repro.analysis.diagnosis import analyse_records, diagnose_memory
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.faults import (
+    AddressDecoderFault,
+    Cell,
+    InversionCouplingFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from repro.memory.injection import FaultyMemory
+from repro.memory.model import Memory
+
+N_WORDS, WIDTH = 8, 8
+
+
+def diagnose(fault, name="March C-", seed=1):
+    result = twm_transform(catalog.get(name), WIDTH)
+    memory = FaultyMemory(N_WORDS, WIDTH, [fault])
+    memory.randomize(random.Random(seed))
+    return diagnose_memory(result.twmarch, memory)
+
+
+class TestCleanMemory:
+    def test_no_fault_no_suspects(self):
+        result = twm_transform(catalog.get("March C-"), WIDTH)
+        memory = Memory(N_WORDS, WIDTH)
+        memory.randomize(random.Random(0))
+        diagnosis = diagnose_memory(result.twmarch, memory)
+        assert not diagnosis.detected
+        assert diagnosis.classification == "no-fault"
+        assert "no fault" in diagnosis.render()
+
+
+class TestStuckAtLocalization:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_locates_the_cell(self, value):
+        fault = StuckAtFault(Cell(5, 3), value)
+        diagnosis = diagnose(fault)
+        assert diagnosis.suspect_cells() == {(5, 3)}
+        assert diagnosis.failing_addresses == [5]
+
+    def test_classifies_polarity(self):
+        assert diagnose(StuckAtFault(Cell(2, 6), 0)).classification == "stuck-at-0"
+        assert diagnose(StuckAtFault(Cell(2, 6), 1)).classification == "stuck-at-1"
+
+    def test_render_mentions_cell(self):
+        text = diagnose(StuckAtFault(Cell(1, 0), 1)).render()
+        assert "(1,0)" in text
+
+
+class TestTransitionLocalization:
+    @pytest.mark.parametrize("rising", [True, False])
+    def test_locates_the_cell(self, rising):
+        fault = TransitionFault(Cell(4, 2), rising=rising)
+        diagnosis = diagnose(fault)
+        assert diagnosis.suspect_cells() == {(4, 2)}
+
+    def test_distinguished_from_stuck_when_content_differs(self):
+        # A rising-TF cell that *starts* at 1 (power-up content) is seen
+        # holding 1 early on, which separates it from SAF0.
+        result = twm_transform(catalog.get("March C-"), WIDTH)
+        memory = FaultyMemory(
+            N_WORDS, WIDTH, [TransitionFault(Cell(4, 2), rising=True)]
+        )
+        memory.fill(0xFF)
+        diagnosis = diagnose_memory(result.twmarch, memory)
+        assert diagnosis.suspect_cells() == {(4, 2)}
+        assert diagnosis.classification == "transition-or-state"
+
+    def test_indistinguishable_when_content_matches(self):
+        # With the cell starting at 0, TF-up behaves exactly like SAF0 —
+        # the classic ambiguity; the classifier reports stuck-at-0.
+        result = twm_transform(catalog.get("March C-"), WIDTH)
+        memory = FaultyMemory(
+            N_WORDS, WIDTH, [TransitionFault(Cell(4, 2), rising=True)]
+        )
+        memory.fill(0x00)
+        diagnosis = diagnose_memory(result.twmarch, memory)
+        assert diagnosis.classification == "stuck-at-0"
+
+
+class TestCouplingLocalization:
+    def test_victim_is_suspect(self):
+        fault = InversionCouplingFault(Cell(2, 1), Cell(6, 1), rising=True)
+        diagnosis = diagnose(fault)
+        assert (6, 1) in diagnosis.suspect_cells()
+
+    def test_inter_word_same_bit_classification(self):
+        fault = StateCouplingFault(Cell(2, 1), Cell(6, 1), 1, 0)
+        diagnosis = diagnose(fault)
+        if len(diagnosis.failing_addresses) > 1:
+            assert diagnosis.classification == "inter-word-coupling-or-column"
+        else:
+            assert diagnosis.detected
+
+
+class TestAddressFaultSmear:
+    def test_af_none_flags_whole_word(self):
+        diagnosis = diagnose(AddressDecoderFault(3, "none"))
+        assert 3 in diagnosis.failing_addresses
+        word3 = [c for c in diagnosis.suspect_cells() if c[0] == 3]
+        assert len(word3) >= WIDTH // 2
+
+    def test_af_multi_flags_multiple_addresses(self):
+        diagnosis = diagnose(AddressDecoderFault(1, "multi", 6))
+        assert len(diagnosis.failing_addresses) >= 2
+
+
+class TestAnalyseRecords:
+    def test_empty_records(self):
+        diagnosis = analyse_records([], 8)
+        assert not diagnosis.detected
+
+    def test_manual_records(self):
+        from repro.bist.executor import ReadRecord
+
+        records = [
+            ReadRecord(0, 0, 2, raw=0b0001, expected=0b0000, mask_value=0),
+            ReadRecord(1, 0, 2, raw=0b0001, expected=0b0000, mask_value=0),
+        ]
+        diagnosis = analyse_records(records, 4)
+        assert diagnosis.suspect_cells() == {(2, 0)}
+        assert diagnosis.classification == "stuck-at-1"
+
+    def test_suspects_sorted_by_error_count(self):
+        from repro.bist.executor import ReadRecord
+
+        records = [
+            ReadRecord(0, 0, 1, raw=1, expected=0, mask_value=0),
+            ReadRecord(1, 0, 2, raw=1, expected=0, mask_value=0),
+            ReadRecord(2, 0, 2, raw=1, expected=0, mask_value=0),
+        ]
+        diagnosis = analyse_records(records, 4)
+        assert diagnosis.suspects[0].addr == 2

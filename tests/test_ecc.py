@@ -1,0 +1,182 @@
+"""Tests for the parity/Hamming ECC substrate."""
+
+import random
+
+import pytest
+
+from repro.ecc.codec import CodedMemory
+from repro.ecc.hamming import HammingSEC, HammingSECDED, check_bits_for
+from repro.ecc.parity import ParityCodec
+from repro.memory.model import Memory
+
+
+class TestParity:
+    @pytest.mark.parametrize("even", [True, False])
+    def test_round_trip(self, even):
+        codec = ParityCodec(4, even=even)
+        for data in range(16):
+            result = codec.decode(codec.encode(data))
+            assert result.data == data
+            assert not result.error_detected
+
+    def test_detects_single_bit_errors(self):
+        codec = ParityCodec(4)
+        for data in range(16):
+            cw = codec.encode(data)
+            for bit in range(codec.code_bits):
+                assert codec.decode(cw ^ (1 << bit)).error_detected
+
+    def test_misses_double_bit_errors(self):
+        codec = ParityCodec(4)
+        cw = codec.encode(0b1010)
+        assert not codec.decode(cw ^ 0b0011).error_detected
+
+    def test_widths(self):
+        codec = ParityCodec(8)
+        assert codec.data_bits == 8
+        assert codec.code_bits == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParityCodec(0)
+
+
+class TestCheckBits:
+    @pytest.mark.parametrize(
+        "data,check", [(1, 2), (4, 3), (8, 4), (11, 4), (16, 5), (32, 6), (64, 7)]
+    )
+    def test_known_values(self, data, check):
+        assert check_bits_for(data) == check
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            check_bits_for(0)
+
+
+class TestHammingSEC:
+    @pytest.mark.parametrize("data_bits", [4, 8, 11, 16])
+    def test_round_trip(self, data_bits):
+        codec = HammingSEC(data_bits)
+        rng = random.Random(0)
+        for _ in range(64):
+            data = rng.randrange(1 << data_bits)
+            result = codec.decode(codec.encode(data))
+            assert result.data == data
+            assert not result.error_detected
+
+    @pytest.mark.parametrize("data_bits", [4, 8, 16])
+    def test_corrects_every_single_bit_error(self, data_bits):
+        codec = HammingSEC(data_bits)
+        rng = random.Random(1)
+        for _ in range(16):
+            data = rng.randrange(1 << data_bits)
+            cw = codec.encode(data)
+            for bit in range(codec.code_bits):
+                result = codec.decode(cw ^ (1 << bit))
+                assert result.error_detected
+                assert result.corrected
+                assert result.data == data
+
+    def test_code_dimensions(self):
+        codec = HammingSEC(8)
+        assert codec.code_bits == 12
+        assert codec.check_bits == 4
+
+
+class TestHammingSECDED:
+    @pytest.mark.parametrize("data_bits", [4, 8, 16])
+    def test_round_trip(self, data_bits):
+        codec = HammingSECDED(data_bits)
+        rng = random.Random(2)
+        for _ in range(32):
+            data = rng.randrange(1 << data_bits)
+            result = codec.decode(codec.encode(data))
+            assert result.data == data and not result.error_detected
+
+    @pytest.mark.parametrize("data_bits", [4, 8])
+    def test_corrects_single_errors(self, data_bits):
+        codec = HammingSECDED(data_bits)
+        data = 0b1011 & ((1 << data_bits) - 1)
+        cw = codec.encode(data)
+        for bit in range(codec.code_bits):
+            result = codec.decode(cw ^ (1 << bit))
+            assert result.error_detected
+            assert result.corrected
+            assert result.data == data
+
+    @pytest.mark.parametrize("data_bits", [4, 8])
+    def test_detects_double_errors_without_miscorrection(self, data_bits):
+        codec = HammingSECDED(data_bits)
+        rng = random.Random(3)
+        for _ in range(8):
+            data = rng.randrange(1 << data_bits)
+            cw = codec.encode(data)
+            for b1 in range(codec.code_bits):
+                for b2 in range(b1 + 1, codec.code_bits):
+                    result = codec.decode(cw ^ (1 << b1) ^ (1 << b2))
+                    assert result.error_detected
+                    assert result.uncorrectable
+                    assert not result.corrected
+
+    def test_dimensions(self):
+        codec = HammingSECDED(8)
+        assert codec.code_bits == 13
+        assert codec.check_bits == 5
+
+
+class TestCodedMemory:
+    def make(self, data_bits=8, n_words=4):
+        codec = HammingSECDED(data_bits)
+        backing = Memory(n_words, codec.code_bits)
+        coded = CodedMemory(backing, codec)
+        coded.load_data([0] * n_words)
+        return coded, backing
+
+    def test_write_read(self):
+        coded, _ = self.make()
+        coded.write(1, 0xAB)
+        assert coded.read(1) == 0xAB
+        assert coded.errors_detected == 0
+
+    def test_dimension_mismatch_rejected(self):
+        codec = HammingSECDED(8)
+        with pytest.raises(ValueError):
+            CodedMemory(Memory(4, 8), codec)
+
+    def test_detects_physical_corruption(self):
+        coded, backing = self.make()
+        coded.write(0, 0x55)
+        stored = backing.snapshot()[0]
+        backing.load([stored ^ 1] + backing.snapshot()[1:])
+        assert coded.read(0) == 0x55  # corrected
+        assert coded.errors_detected == 1
+        assert coded.errors_corrected == 1
+
+    def test_uncorrectable_counted(self):
+        coded, backing = self.make()
+        coded.write(0, 0x55)
+        words = backing.snapshot()
+        words[0] ^= 0b11  # double error
+        backing.load(words)
+        coded.read(0)
+        assert coded.uncorrectable == 1
+
+    def test_snapshot_decodes(self):
+        coded, _ = self.make()
+        coded.write(2, 0x3C)
+        assert coded.snapshot()[2] == 0x3C
+
+    def test_reset_counters(self):
+        coded, backing = self.make()
+        coded.write(0, 1)
+        words = backing.snapshot()
+        words[0] ^= 1
+        backing.load(words)
+        coded.read(0)
+        coded.reset_counters()
+        assert coded.errors_detected == 0
+
+    def test_properties(self):
+        coded, _ = self.make(data_bits=8, n_words=4)
+        assert coded.n_words == 4
+        assert coded.width == 8

@@ -1,0 +1,131 @@
+"""Unit tests for march elements and whole march tests."""
+
+import pytest
+
+from repro.core.element import AddressOrder, MarchElement
+from repro.core.march import MarchTest
+from repro.core.ops import Op
+
+
+def el(order, *ops):
+    return MarchElement(order, tuple(ops))
+
+
+class TestAddressOrder:
+    def test_up_addresses(self):
+        assert list(AddressOrder.UP.addresses(4)) == [0, 1, 2, 3]
+
+    def test_down_addresses(self):
+        assert list(AddressOrder.DOWN.addresses(4)) == [3, 2, 1, 0]
+
+    def test_any_resolves_ascending(self):
+        assert list(AddressOrder.ANY.addresses(3)) == [0, 1, 2]
+
+    def test_arrows(self):
+        assert AddressOrder.UP.arrow == "⇑"
+        assert AddressOrder.DOWN.arrow == "⇓"
+        assert AddressOrder.ANY.arrow == "⇕"
+
+    def test_reversed(self):
+        assert AddressOrder.UP.reversed() is AddressOrder.DOWN
+        assert AddressOrder.DOWN.reversed() is AddressOrder.UP
+        assert AddressOrder.ANY.reversed() is AddressOrder.ANY
+
+
+class TestMarchElement:
+    def test_requires_ops(self):
+        with pytest.raises(ValueError):
+            MarchElement(AddressOrder.UP, ())
+
+    def test_statistics(self):
+        e = el(AddressOrder.UP, Op.r0(), Op.w1(), Op.r1())
+        assert len(e) == 3
+        assert e.n_reads == 2
+        assert e.n_writes == 1
+
+    def test_pure_write(self):
+        assert el(AddressOrder.ANY, Op.w0()).is_pure_write
+        assert not el(AddressOrder.ANY, Op.r0()).is_pure_write
+
+    def test_pure_read(self):
+        assert el(AddressOrder.ANY, Op.r0()).is_pure_read
+        assert not el(AddressOrder.ANY, Op.w0()).is_pure_read
+
+    def test_starts_with_write(self):
+        assert el(AddressOrder.UP, Op.w1(), Op.r1()).starts_with_write
+        assert not el(AddressOrder.UP, Op.r0(), Op.w1()).starts_with_write
+
+    def test_str(self):
+        e = el(AddressOrder.UP, Op.r0(), Op.w1())
+        assert str(e) == "⇑(r0,w1)"
+
+    def test_iteration(self):
+        e = el(AddressOrder.DOWN, Op.r1(), Op.w0())
+        assert [str(op) for op in e] == ["r1", "w0"]
+
+
+class TestMarchTest:
+    def make(self):
+        return MarchTest(
+            "toy",
+            (
+                el(AddressOrder.ANY, Op.w0()),
+                el(AddressOrder.UP, Op.r0(), Op.w1()),
+                el(AddressOrder.DOWN, Op.r1(), Op.w0()),
+                el(AddressOrder.ANY, Op.r0()),
+            ),
+        )
+
+    def test_requires_elements(self):
+        with pytest.raises(ValueError):
+            MarchTest("empty", ())
+
+    def test_statistics(self):
+        t = self.make()
+        assert t.op_count == 6
+        assert t.n_reads == 3
+        assert t.n_writes == 3
+        assert len(t) == 4
+
+    def test_complexity_string(self):
+        assert self.make().complexity() == "6n"
+
+    def test_all_ops(self):
+        assert len(self.make().all_ops) == 6
+
+    def test_solid_and_transparent_form(self):
+        t = self.make()
+        assert t.is_solid_form
+        assert not t.is_transparent_form
+
+    def test_same_structure_ignores_name(self):
+        a = self.make()
+        b = a.renamed("other")
+        assert a.same_structure(b)
+        assert b.name == "other"
+
+    def test_concat(self):
+        a = self.make()
+        c = a.concat(a, name="double")
+        assert c.op_count == 12
+        assert c.name == "double"
+        assert len(c) == 8
+
+    def test_concat_default_name(self):
+        a = self.make()
+        assert ";" in a.concat(a).name
+
+    def test_str_format(self):
+        assert str(self.make()) == "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}"
+
+    def test_describe_mentions_counts(self):
+        d = self.make().describe()
+        assert "N = 6" in d and "Q = 3" in d
+
+    def test_renamed_keeps_notes(self):
+        t = MarchTest("x", self.make().elements, notes="hello")
+        assert t.renamed("y").notes == "hello"
+        assert t.renamed("y", notes="bye").notes == "bye"
+
+    def test_iter(self):
+        assert len(list(iter(self.make()))) == 4

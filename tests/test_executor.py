@@ -1,0 +1,187 @@
+"""Tests for the March-test executor."""
+
+import random
+
+import pytest
+
+from repro.bist.executor import (
+    ExecutionError,
+    read_stream,
+    run_march,
+    transparent_writes_derivable,
+)
+from repro.core.notation import parse_march
+from repro.core.transparent import to_transparent
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.faults import Cell, StuckAtFault, TransitionFault
+from repro.memory.injection import FaultyMemory
+from repro.memory.model import Memory
+
+
+class TestSolidExecution:
+    def test_fault_free_march_has_no_mismatches(self):
+        m = Memory(8, 1)
+        result = run_march(catalog.get("March C-"), m)
+        assert not result.detected
+        assert result.ops_executed == 10 * 8
+        assert result.n_reads == 5 * 8
+
+    def test_word_background_test(self):
+        t = parse_march("⇕(wD1); ⇑(rD1,w~D1); ⇕(r~D1)", name="bg")
+        m = Memory(4, 8)
+        result = run_march(t, m)
+        assert not result.detected
+        assert m.snapshot() == [0b10101010] * 4
+
+    def test_stuck_at_detected(self):
+        m = FaultyMemory(8, 1, [StuckAtFault(Cell(3, 0), 0)])
+        result = run_march(catalog.get("March C-"), m)
+        assert result.detected
+
+    def test_transition_fault_detected(self):
+        m = FaultyMemory(8, 1, [TransitionFault(Cell(2, 0), rising=True)])
+        result = run_march(catalog.get("March C-"), m)
+        assert result.detected
+
+    def test_stop_on_mismatch(self):
+        m = FaultyMemory(8, 1, [StuckAtFault(Cell(0, 0), 1)])
+        full = run_march(catalog.get("March C-"), m.__class__(8, 1, m.faults))
+        stopped = run_march(
+            catalog.get("March C-"),
+            FaultyMemory(8, 1, m.faults),
+            stop_on_mismatch=True,
+        )
+        assert stopped.stopped_early
+        assert stopped.ops_executed <= full.ops_executed
+        assert stopped.detected
+
+    def test_collect_records(self):
+        m = Memory(4, 1)
+        result = run_march(catalog.get("MATS+"), m, collect=True)
+        assert len(result.records) == result.n_reads == 2 * 4
+        assert all(not r.mismatch for r in result.records)
+
+    def test_records_not_collected_by_default(self):
+        m = Memory(4, 1)
+        result = run_march(catalog.get("MATS+"), m)
+        assert result.records == []
+
+
+class TestTransparentExecution:
+    def test_transparent_restores_content(self):
+        t = to_transparent(catalog.get("March C-")).transparent
+        m = Memory(16, 8)
+        m.randomize(random.Random(1))
+        before = m.snapshot()
+        result = run_march(t, m)
+        assert not result.detected
+        assert m.snapshot() == before
+
+    def test_twmarch_restores_content(self):
+        result = twm_transform(catalog.get("March U"), 8)
+        m = Memory(16, 8)
+        m.randomize(random.Random(2))
+        before = m.snapshot()
+        run = run_march(result.twmarch, m)
+        assert not run.detected
+        assert m.snapshot() == before
+
+    def test_snapshot_override(self):
+        t = to_transparent(catalog.get("March C-")).transparent
+        m = Memory(4, 8, fill=0x12)
+        # A wrong reference snapshot makes every read a mismatch.
+        run = run_march(t, m, snapshot=[0x34] * 4)
+        assert run.detected
+
+    def test_snapshot_length_check(self):
+        t = to_transparent(catalog.get("March C-")).transparent
+        with pytest.raises(ExecutionError):
+            run_march(t, Memory(4, 8), snapshot=[0] * 3)
+
+    def test_operational_write_propagates_fault_data(self):
+        # A stuck cell corrupts a read; the derived write-back then
+        # stores the corrupted complement.
+        t = to_transparent(catalog.get("March C-")).transparent
+        m = FaultyMemory(2, 4, [StuckAtFault(Cell(0, 0), 1)])
+        m.load([0b0000, 0b0000])
+        run = run_march(t, m)
+        assert run.detected
+
+    def test_oracle_writes_mode(self):
+        t = to_transparent(catalog.get("March C-")).transparent
+        m = Memory(4, 8)
+        m.randomize(random.Random(3))
+        before = m.snapshot()
+        run = run_march(t, m, derive_writes=False)
+        assert not run.detected
+        assert m.snapshot() == before
+
+    def test_underivable_write_raises(self):
+        t = parse_march("⇕(wc); ⇕(rc)", name="bad-transparent")
+        with pytest.raises(ExecutionError, match="no preceding read"):
+            run_march(t, Memory(2, 4))
+
+    def test_underivable_ok_in_oracle_mode(self):
+        t = parse_march("⇕(wc); ⇕(rc)", name="bad-transparent")
+        run = run_march(t, Memory(2, 4), derive_writes=False)
+        assert not run.detected
+
+
+class TestDerivability:
+    def test_generated_tests_are_derivable(self):
+        for name in catalog.names():
+            result = twm_transform(catalog.get(name), 8)
+            assert transparent_writes_derivable(result.twmarch), name
+
+    def test_underivable_detection(self):
+        t = parse_march("⇕(wc, rc)", name="w-first")
+        assert not transparent_writes_derivable(t)
+
+    def test_solid_writes_always_derivable(self):
+        assert transparent_writes_derivable(catalog.get("March C-"))
+
+
+class TestReadStream:
+    def test_stream_length(self):
+        m = Memory(4, 1)
+        stream = read_stream(catalog.get("March C-"), m)
+        assert len(stream) == 5 * 4
+
+    def test_stream_values_fault_free(self):
+        m = Memory(2, 1)
+        stream = read_stream(catalog.get("MATS+"), m)
+        # MATS+ reads r0 then r1 per address.
+        assert stream == [0, 0, 1, 1]
+
+    def test_stream_reflects_fault(self):
+        clean = read_stream(catalog.get("March C-"), Memory(4, 1))
+        faulty = read_stream(
+            catalog.get("March C-"),
+            FaultyMemory(4, 1, [StuckAtFault(Cell(1, 0), 1)]),
+        )
+        assert clean != faulty
+
+
+class TestAddressOrdering:
+    def test_down_element_visits_descending(self):
+        t = parse_march("⇓(r0)", name="down-read")
+        m = Memory(3, 4)
+        addrs = []
+        run_march(t, m, read_sink=lambda rec: addrs.append(rec.addr))
+        assert addrs == [2, 1, 0]
+
+    def test_up_element_visits_ascending(self):
+        t = parse_march("⇑(r0)", name="up-read")
+        m = Memory(3, 4)
+        addrs = []
+        run_march(t, m, read_sink=lambda rec: addrs.append(rec.addr))
+        assert addrs == [0, 1, 2]
+
+    def test_element_completes_address_before_moving(self):
+        t = parse_march("⇑(r0,w1,r1)", name="visit")
+        m = Memory(2, 1)
+        events = []
+        m2 = Memory(2, 1)
+        run_march(t, m2, read_sink=lambda rec: events.append((rec.addr, rec.raw)))
+        assert events == [(0, 0), (0, 1), (1, 0), (1, 1)]

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro import (
+    FaultyMemory,
+    Memory,
+    OnlineTestScheduler,
+    StuckAtFault,
+    TransparentBist,
+    library,
+    nontransparent_word_reference,
+    run_march,
+    scheme1_transform,
+    twm_transform,
+)
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.baselines.tomt import TomtBaseline
+from repro.memory.faults import Cell, IdempotentCouplingFault
+from repro.memory.injection import standard_fault_universe
+
+
+class TestFullBistPipeline:
+    """Transform -> predict -> test -> compare, per scheme."""
+
+    @pytest.mark.parametrize("name", ["March C-", "March U", "March B"])
+    @pytest.mark.parametrize("width", [4, 16])
+    def test_twm_pipeline_fault_free(self, name, width):
+        result = twm_transform(library.get(name), width)
+        bist = TransparentBist.from_twm(result)
+        memory = Memory(8, width)
+        memory.randomize(random.Random(0))
+        outcome = bist.run(memory)
+        assert not outcome.detected
+        assert outcome.transparent
+
+    @pytest.mark.parametrize("name", ["March C-", "March U"])
+    def test_twm_pipeline_detects_injected_fault(self, name):
+        result = twm_transform(library.get(name), 8)
+        bist = TransparentBist.from_twm(result)
+        memory = FaultyMemory(8, 8, [StuckAtFault(Cell(4, 5), 0)])
+        memory.randomize(random.Random(1))
+        assert bist.run(memory).detected
+
+    def test_scheme1_pipeline(self):
+        result = scheme1_transform(library.get("March C-"), 8)
+        bist = TransparentBist(result.transparent, result.prediction)
+        memory = Memory(8, 8)
+        memory.randomize(random.Random(2))
+        assert not bist.run(memory).detected
+
+        faulty = FaultyMemory(8, 8, [StuckAtFault(Cell(0, 0), 1)])
+        faulty.randomize(random.Random(3))
+        assert bist.run(faulty).detected
+
+    def test_tomt_pipeline(self):
+        baseline = TomtBaseline(8)
+        clean = baseline.make_memory(8, fill=0x42)
+        assert not baseline.run(clean).detected
+        faulty = baseline.make_memory(8, [StuckAtFault(Cell(3, 1), 1)], fill=0x42)
+        assert baseline.run(faulty).detected
+
+    def test_intra_word_cfid_detected_when_orientation_matches(self):
+        # D1 flips bit 0 while bit 1 holds: aggressor bit0 -> victim bit1.
+        fault = IdempotentCouplingFault(
+            Cell(2, 0), Cell(2, 1), rising=True, forced_value=1
+        )
+        result = twm_transform(library.get("March C-"), 8)
+        memory = FaultyMemory(8, 8, [fault])
+        memory.load([0] * 8)
+        bist = TransparentBist.from_twm(result)
+        assert bist.run(memory).detected
+
+
+class TestCrossSchemeConsistency:
+    def test_all_schemes_transparent_on_same_memory(self):
+        width = 8
+        memory = Memory(4, width)
+        memory.randomize(random.Random(5))
+        before = memory.snapshot()
+        for test in (
+            twm_transform(library.get("March C-"), width).twmarch,
+            scheme1_transform(library.get("March C-"), width).transparent,
+        ):
+            run = run_march(test, memory)
+            assert not run.detected
+            assert memory.snapshot() == before
+
+    def test_twm_is_shortest(self):
+        width = 32
+        twm = twm_transform(library.get("March C-"), width)
+        s1 = scheme1_transform(library.get("March C-"), width)
+        from repro.baselines.tomt import tomt_tcm
+
+        assert twm.tcm + twm.tcp < s1.tcm + s1.tcp < tomt_tcm(width) + 1
+
+
+class TestCampaignIntegration:
+    def test_small_full_universe_campaign(self):
+        n, b = 4, 4
+        result = twm_transform(library.get("March C-"), b)
+        universe = standard_fault_universe(
+            n, b, max_inter_pairs=8, rng=random.Random(0)
+        )
+        flow = compare_flow(result.twmarch, n, b, initial=None, seed=1)
+        report = run_campaign(flow, universe, flow_name="integration")
+        assert report.classes["SAF"].percent == 100.0
+        assert report.classes["TF"].percent == 100.0
+        assert report.classes["CFin-inter"].percent == 100.0
+        assert report.percent > 75.0
+
+    def test_reference_vs_twm_summary(self):
+        n, b = 4, 4
+        twm = twm_transform(library.get("March C-"), b)
+        ref = nontransparent_word_reference(library.get("March C-"), b)
+        universe = standard_fault_universe(
+            n, b, max_inter_pairs=6, rng=random.Random(2)
+        )
+        rep_ref = run_campaign(compare_flow(ref, n, b, initial=0), universe)
+        rep_twm = run_campaign(
+            compare_flow(twm.twmarch, n, b, initial=None, seed=9), universe
+        )
+        # Identical except the documented intra-word CFst static gap.
+        for name in universe:
+            if name == "CFst-intra":
+                continue
+            assert (
+                rep_ref.classes[name].percent == rep_twm.classes[name].percent
+            ), name
+
+
+class TestSchedulerIntegration:
+    def test_life_time_scenario(self):
+        """The paper's motivating scenario: a system runs, idles, a
+        fault appears mid-life, the periodic transparent test finds it."""
+        result = twm_transform(library.get("March C-"), 8)
+        memory = FaultyMemory(4, 8)
+        memory.randomize(random.Random(7))
+        sched = OnlineTestScheduler(
+            memory,
+            result.twmarch,
+            result.prediction,
+            ops_per_idle_cycle=4,
+            rng=random.Random(8),
+        )
+
+        def workload(cycle, rng):
+            # Bursty but mostly idle system.
+            if cycle % 97 == 0:
+                from repro.memory.traces import AccessEvent
+
+                return AccessEvent("r", rng.randrange(4), 0)
+            return None
+
+        def inject(mem):
+            mem.inject(StuckAtFault(Cell(1, 6), 1))
+
+        cycles = sched.session_ops * 5
+        report = sched.run(workload, cycles, fault_at=(cycles // 3, inject))
+        assert report.sessions_completed > 2
+        assert report.detection_latency is not None
+        # Sessions completed before injection must be silent.
+        assert all(c >= report.fault_cycle for c in report.detections)

@@ -1,0 +1,89 @@
+"""Larger-configuration integration tests (realistic dimensions)."""
+
+import random
+
+import pytest
+
+from repro import (
+    FaultyMemory,
+    Memory,
+    StuckAtFault,
+    TransparentBist,
+    library,
+    run_march,
+    twm_transform,
+)
+from repro.baselines.scheme1 import scheme1_transform
+from repro.bist.symmetry import SymmetricBist
+from repro.memory import Cell
+
+
+class TestWideWords:
+    @pytest.mark.parametrize("width", [32, 64, 128])
+    def test_twm_transparency_at_width(self, width):
+        result = twm_transform(library.get("March C-"), width)
+        memory = Memory(32, width)
+        memory.randomize(random.Random(width))
+        before = memory.snapshot()
+        run = run_march(result.twmarch, memory)
+        assert not run.detected
+        assert memory.snapshot() == before
+
+    def test_full_bist_on_1k_words(self):
+        result = twm_transform(library.get("March C-"), 32)
+        bist = TransparentBist.from_twm(result)
+        memory = Memory(1024, 32)
+        memory.randomize(random.Random(0))
+        outcome = bist.run(memory)
+        assert not outcome.detected
+        assert outcome.transparent
+        assert outcome.test_ops == result.tcm * 1024
+
+    def test_fault_in_large_memory_detected(self):
+        result = twm_transform(library.get("March U"), 64)
+        bist = TransparentBist.from_twm(result)
+        memory = FaultyMemory(256, 64, [StuckAtFault(Cell(200, 63), 0)])
+        memory.randomize(random.Random(1))
+        assert bist.run(memory).detected
+
+    def test_msb_and_lsb_cells_covered(self):
+        result = twm_transform(library.get("March C-"), 128)
+        bist = TransparentBist.from_twm(result)
+        for bit in (0, 127):
+            memory = FaultyMemory(16, 128, [StuckAtFault(Cell(7, bit), 1)])
+            memory.randomize(random.Random(bit))
+            assert bist.run(memory).detected
+
+
+class TestComplexityAtScale:
+    def test_128bit_headline(self):
+        result = twm_transform(library.get("March C-"), 128)
+        assert result.tcm == 10 + 5 * 7  # N + 5*log2(128)
+        assert result.tcp == 5 + 3 * 7 + 1
+
+    def test_scheme1_at_128(self):
+        result = scheme1_transform(library.get("March C-"), 128)
+        # 8 background passes at this width.
+        assert result.n_backgrounds == 8
+
+    def test_symmetric_bist_scales(self):
+        result = twm_transform(library.get("March C-"), 32)
+        bist = SymmetricBist(result.twmarch, 64, 32, lanes=3, verify_cells=4)
+        memory = Memory(64, 32)
+        memory.randomize(random.Random(3))
+        assert not bist.run(memory)
+        faulty = FaultyMemory(64, 32, [StuckAtFault(Cell(33, 17), 1)])
+        faulty.randomize(random.Random(4))
+        assert bist.run(faulty)
+
+
+class TestAllCatalogAtRealWidth:
+    @pytest.mark.parametrize("name", library.names())
+    def test_bist_pipeline_for_every_test(self, name):
+        result = twm_transform(library.get(name), 32)
+        bist = TransparentBist.from_twm(result)
+        memory = Memory(32, 32)
+        memory.randomize(random.Random(hash(name) & 0xFFFF))
+        outcome = bist.run(memory)
+        assert not outcome.detected
+        assert outcome.transparent

@@ -1,0 +1,117 @@
+"""Tests for the LFSR/MISR signature datapath."""
+
+import pytest
+
+from repro.bist.lfsr import Lfsr, parity, tap_mask
+from repro.bist.misr import Misr, signature_of
+
+
+class TestParity:
+    def test_values(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b1010) == 0
+        assert parity(0b1110) == 1
+
+
+class TestTapMask:
+    def test_width1(self):
+        assert tap_mask(1) == 1
+
+    def test_width8(self):
+        # Taps (8, 6, 5, 4) -> bits 7, 5, 4, 3.
+        assert tap_mask(8) == (1 << 7) | (1 << 5) | (1 << 4) | (1 << 3)
+
+    def test_unknown_width(self):
+        with pytest.raises(ValueError, match="tap set"):
+            tap_mask(37)
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 10])
+    def test_maximal_period(self, width):
+        lfsr = Lfsr(width, seed=1)
+        assert lfsr.period() == (1 << width) - 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+
+    def test_seed_masked_then_checked(self):
+        with pytest.raises(ValueError):
+            Lfsr(4, seed=0x10)  # masks to zero
+
+    def test_run_returns_states(self):
+        lfsr = Lfsr(4, seed=1)
+        states = lfsr.run(5)
+        assert len(states) == 5
+        assert all(0 < s < 16 for s in states)
+
+    def test_deterministic(self):
+        assert Lfsr(8, seed=3).run(20) == Lfsr(8, seed=3).run(20)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Lfsr(0)
+
+
+class TestMisr:
+    def test_deterministic(self):
+        assert signature_of([1, 2, 3], 16) == signature_of([1, 2, 3], 16)
+
+    def test_order_sensitive(self):
+        assert signature_of([1, 2], 16) != signature_of([2, 1], 16)
+
+    def test_value_sensitive(self):
+        assert signature_of([0, 0, 0], 16) != signature_of([0, 1, 0], 16)
+
+    def test_single_bit_flip_changes_signature(self):
+        base = [0xAAAA, 0x5555, 0x1234]
+        for i in range(len(base)):
+            for bit in range(4):
+                mutated = list(base)
+                mutated[i] ^= 1 << bit
+                assert signature_of(mutated, 16) != signature_of(base, 16)
+
+    def test_fold_wide_input(self):
+        misr = Misr(8)
+        assert misr.fold(0x1FF) == (0xFF ^ 0x01)
+        assert misr.fold(0xAB) == 0xAB
+
+    def test_absorb_counts(self):
+        misr = Misr(8)
+        misr.absorb_all([1, 2, 3])
+        assert misr.absorbed == 3
+
+    def test_reset(self):
+        misr = Misr(8, seed=5)
+        misr.absorb(0xFF)
+        misr.reset()
+        assert misr.signature == 5
+        assert misr.absorbed == 0
+
+    def test_spawn_matches_configuration(self):
+        misr = Misr(8, seed=5)
+        clone = misr.spawn()
+        misr.absorb(1)
+        clone.absorb(1)
+        assert misr.signature == clone.signature
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Misr(0)
+
+    def test_empty_signature_is_seed(self):
+        assert Misr(16, seed=0xBEEF).signature == 0xBEEF
+
+    def test_wide_words_accumulate(self):
+        # 32-bit reads into a 16-bit register still distinguish streams.
+        a = signature_of([0xDEADBEEF, 0x12345678], 16)
+        b = signature_of([0xDEADBEEF, 0x12345679], 16)
+        assert a != b
+
+    def test_shift_distinguishes_xor_equal_streams(self):
+        # Streams with equal XOR-sum but different order/content.
+        a = signature_of([0b01, 0b10], 4)
+        b = signature_of([0b11, 0b00], 4)
+        assert a != b

@@ -1,0 +1,148 @@
+"""Tests for the fault-free memory model and trace recording."""
+
+import random
+
+import pytest
+
+from repro.memory.model import Memory, words_equal
+from repro.memory.traces import AccessEvent, TraceRecorder
+
+
+class TestBasics:
+    def test_initial_fill(self):
+        m = Memory(4, 8, fill=0xAB)
+        assert m.snapshot() == [0xAB] * 4
+
+    def test_fill_masks_to_width(self):
+        m = Memory(2, 4, fill=0xFF)
+        assert m.snapshot() == [0xF, 0xF]
+
+    def test_read_write(self):
+        m = Memory(4, 8)
+        m.write(2, 0x5A)
+        assert m.read(2) == 0x5A
+        assert m.read(0) == 0
+
+    def test_write_masks_value(self):
+        m = Memory(2, 4)
+        m.write(0, 0x1F)
+        assert m.read(0) == 0xF
+
+    def test_len_and_mask(self):
+        m = Memory(10, 6)
+        assert len(m) == 10
+        assert m.word_mask == 0x3F
+
+    @pytest.mark.parametrize("addr", [-1, 4, 100])
+    def test_address_bounds(self, addr):
+        m = Memory(4, 8)
+        with pytest.raises(IndexError):
+            m.read(addr)
+        with pytest.raises(IndexError):
+            m.write(addr, 0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Memory(0, 8)
+        with pytest.raises(ValueError):
+            Memory(4, 0)
+
+
+class TestBulkContent:
+    def test_load(self):
+        m = Memory(3, 8)
+        m.load([1, 2, 3])
+        assert m.snapshot() == [1, 2, 3]
+
+    def test_load_wrong_length(self):
+        m = Memory(3, 8)
+        with pytest.raises(ValueError):
+            m.load([1, 2])
+
+    def test_load_masks_values(self):
+        m = Memory(2, 4)
+        m.load([0x12, 0x34])
+        assert m.snapshot() == [0x2, 0x4]
+
+    def test_randomize_is_deterministic_per_seed(self):
+        a, b = Memory(16, 8), Memory(16, 8)
+        a.randomize(random.Random(42))
+        b.randomize(random.Random(42))
+        assert words_equal(a.snapshot(), b.snapshot())
+
+    def test_randomize_fits_width(self):
+        m = Memory(64, 5)
+        m.randomize(random.Random(0))
+        assert all(w < 32 for w in m.snapshot())
+
+    def test_snapshot_is_a_copy(self):
+        m = Memory(2, 8)
+        snap = m.snapshot()
+        m.write(0, 0xFF)
+        assert snap == [0, 0]
+
+    def test_fill(self):
+        m = Memory(3, 8)
+        m.fill(7)
+        assert m.snapshot() == [7, 7, 7]
+
+
+class TestCellAccess:
+    def test_get_bit(self):
+        m = Memory(2, 8)
+        m.write(1, 0b1010)
+        assert m.get_bit(1, 1) == 1
+        assert m.get_bit(1, 0) == 0
+
+    def test_get_bit_bounds(self):
+        m = Memory(2, 8)
+        with pytest.raises(IndexError):
+            m.get_bit(0, 8)
+        with pytest.raises(IndexError):
+            m.get_bit(5, 0)
+
+
+class TestCountersAndObservers:
+    def test_counters(self):
+        m = Memory(4, 8)
+        m.write(0, 1)
+        m.read(0)
+        m.read(1)
+        assert m.write_count == 1
+        assert m.read_count == 2
+        m.reset_counters()
+        assert m.read_count == m.write_count == 0
+
+    def test_trace_recorder(self):
+        m = Memory(4, 8)
+        rec = TraceRecorder()
+        m.attach(rec)
+        m.write(1, 0xAA)
+        m.read(1)
+        assert len(rec) == 2
+        assert rec.events[0] == AccessEvent("w", 1, 0xAA)
+        assert rec.events[1] == AccessEvent("r", 1, 0xAA)
+        assert len(rec.reads) == 1
+        assert len(rec.writes) == 1
+
+    def test_detach(self):
+        m = Memory(4, 8)
+        rec = TraceRecorder()
+        m.attach(rec)
+        m.detach(rec)
+        m.write(0, 1)
+        assert len(rec) == 0
+
+    def test_recorder_clear(self):
+        rec = TraceRecorder()
+        rec.notify(AccessEvent("r", 0, 0))
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_event_str(self):
+        assert str(AccessEvent("r", 3, 255)) == "r[3]=0xff"
+
+
+def test_words_equal():
+    assert words_equal([1, 2], (1, 2))
+    assert not words_equal([1, 2], [2, 1])

@@ -1,0 +1,120 @@
+"""Tests for the March-notation parser and formatter."""
+
+import pytest
+
+from repro.core.notation import NotationError, format_march, parse_march
+from repro.core.element import AddressOrder
+from repro.core.ops import DataExpr, Mask, checker
+from repro.library import catalog
+
+
+class TestParsing:
+    def test_simple_test(self):
+        t = parse_march("⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)")
+        assert t.op_count == 6
+        assert t.elements[0].order is AddressOrder.ANY
+        assert t.elements[1].order is AddressOrder.UP
+        assert t.elements[2].order is AddressOrder.DOWN
+
+    def test_ascii_arrows(self):
+        t = parse_march("any(w0); up(r0,w1); down(r1,w0); ud(r0)")
+        assert t.op_count == 6
+        assert t.elements[3].order is AddressOrder.ANY
+
+    def test_dn_alias(self):
+        t = parse_march("dn(r0,w1)")
+        assert t.elements[0].order is AddressOrder.DOWN
+
+    def test_braces_optional(self):
+        a = parse_march("{⇕(w0); ⇕(r0)}")
+        b = parse_march("⇕(w0); ⇕(r0)")
+        assert a.same_structure(b)
+
+    def test_whitespace_insensitive(self):
+        a = parse_march("⇕( w0 );⇑( r0 , w1 )")
+        b = parse_march("⇕(w0); ⇑(r0,w1)")
+        assert a.same_structure(b)
+
+    def test_transparent_symbols(self):
+        t = parse_march("⇕(rc, w~c, r~c, wc)")
+        ops = t.elements[0].ops
+        assert ops[0].data == DataExpr.content()
+        assert ops[1].data == DataExpr.content_inv()
+
+    def test_background_terms(self):
+        t = parse_march("⇕(wD1, rD1, w~D2)")
+        ops = t.elements[0].ops
+        assert ops[0].data.mask == Mask.of(checker(1))
+        assert not ops[0].data.relative
+        assert ops[2].data.mask == Mask.of(checker(2)) ^ Mask.ONES
+
+    def test_parenthesized_expression(self):
+        t = parse_march("⇕(r(c^D1), w(c^D1^1))")
+        ops = t.elements[0].ops
+        assert ops[0].data == DataExpr.content(Mask.of(checker(1)))
+        assert ops[1].data == DataExpr.content(Mask.of(checker(1)) ^ Mask.ONES)
+
+    def test_unit_pattern(self):
+        t = parse_march("⇕(w(c^e3))")
+        assert t.elements[0].ops[0].data.mask.resolve(8) == 0b1000
+
+    def test_double_complement_cancels(self):
+        t = parse_march("⇕(r~~c)")
+        assert t.elements[0].ops[0].data == DataExpr.content()
+
+    def test_c_xor_c_cancels(self):
+        t = parse_march("⇕(w(c^c^1))")
+        op = t.elements[0].ops[0]
+        assert not op.data.relative
+        assert op.data.mask == Mask.ONES
+
+    def test_name_parameter(self):
+        assert parse_march("⇕(r0)", name="X").name == "X"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "nonsense",
+            "⇕()",
+            "⇕(x0)",
+            "⇕(r)",
+            "⇕(rQ)",
+            "⇕(rD)",
+            "⇕(r0) garbage",
+            "garbage ⇕(r0)",
+            "⇕(r0,)  extra(",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(NotationError):
+            parse_march(text)
+
+    def test_empty_term(self):
+        with pytest.raises(NotationError):
+            parse_march("⇕(r(c^))")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_catalog_round_trips(self, name):
+        original = catalog.get(name)
+        again = parse_march(str(original))
+        assert again.same_structure(original)
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_ascii_round_trips(self, name):
+        original = catalog.get(name)
+        again = parse_march(format_march(original, ascii_only=True))
+        assert again.same_structure(original)
+
+    def test_transparent_round_trip(self):
+        t = parse_march("⇕(rc,w(c^D1),r(c^D1),wc,rc); ⇕(rc)")
+        assert parse_march(str(t)).same_structure(t)
+
+    def test_format_unicode_default(self):
+        t = parse_march("up(r0,w1)")
+        assert "⇑" in format_march(t)
+        assert "⇑" not in format_march(t, ascii_only=True)

@@ -1,0 +1,194 @@
+"""Unit tests for the symbolic operation/data-expression layer."""
+
+import pytest
+
+from repro.core.ops import (
+    ONES,
+    DataExpr,
+    Mask,
+    Op,
+    OpKind,
+    Pattern,
+    bit,
+    checker,
+    checkerboard,
+    reads,
+    writes,
+)
+
+
+class TestCheckerboard:
+    def test_paper_example_width8(self):
+        # The worked example in Section 4 of the paper.
+        assert checkerboard(1, 8) == 0b01010101
+        assert checkerboard(2, 8) == 0b00110011
+        assert checkerboard(3, 8) == 0b00001111
+
+    def test_width4(self):
+        # Section 3's background plan for 4-bit words: 0101, 0011.
+        assert checkerboard(1, 4) == 0b0101
+        assert checkerboard(2, 4) == 0b0011
+
+    def test_width2(self):
+        assert checkerboard(1, 2) == 0b01
+
+    def test_definition_rule(self):
+        # Bit j of D_k is 1 iff floor(j / 2**(k-1)) is even.
+        for k in (1, 2, 3, 4):
+            for width in (8, 16, 32):
+                value = checkerboard(k, width)
+                for j in range(width):
+                    expected = 1 if (j >> (k - 1)) % 2 == 0 else 0
+                    assert (value >> j) & 1 == expected
+
+    def test_half_weight(self):
+        # Every checkerboard has as many ones as zeros when it fits.
+        for k in (1, 2, 3):
+            for width in (8, 16, 64):
+                assert checkerboard(k, width).bit_count() == width // 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            checkerboard(0, 8)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            checkerboard(1, 0)
+
+
+class TestPattern:
+    def test_ones_resolve(self):
+        assert ONES.resolve(8) == 0xFF
+        assert ONES.resolve(1) == 1
+
+    def test_checker_resolve(self):
+        assert checker(1).resolve(8) == 0b01010101
+
+    def test_bit_resolve(self):
+        assert bit(0).resolve(8) == 1
+        assert bit(7).resolve(8) == 0x80
+
+    def test_bit_out_of_width(self):
+        with pytest.raises(ValueError):
+            bit(8).resolve(8)
+
+    def test_symbols(self):
+        assert ONES.symbol == "1"
+        assert checker(2).symbol == "D2"
+        assert bit(3).symbol == "e3"
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            Pattern("bogus")
+
+    def test_checker_index_validation(self):
+        with pytest.raises(ValueError):
+            Pattern("checker", 0)
+
+    def test_bit_index_validation(self):
+        with pytest.raises(ValueError):
+            Pattern("bit", -1)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ONES.resolve(0)
+
+
+class TestMask:
+    def test_zero(self):
+        assert Mask.ZERO.is_zero
+        assert Mask.ZERO.resolve(8) == 0
+        assert Mask.ZERO.symbol == "0"
+
+    def test_ones(self):
+        assert Mask.ONES.resolve(4) == 0xF
+        assert Mask.ONES.symbol == "1"
+
+    def test_xor_cancellation(self):
+        d1 = Mask.of(checker(1))
+        assert (d1 ^ d1).is_zero
+        assert (d1 ^ Mask.ZERO) == d1
+
+    def test_xor_combination(self):
+        m = Mask.of(checker(1)) ^ Mask.of(checker(2))
+        assert m.resolve(8) == 0b01010101 ^ 0b00110011
+
+    def test_of_duplicates_cancel(self):
+        assert Mask.of(ONES, ONES).is_zero
+
+    def test_symbol_ordering_is_deterministic(self):
+        m = Mask.of(ONES, checker(2), checker(1))
+        assert m.symbol == Mask.of(checker(1), ONES, checker(2)).symbol
+
+    def test_complement_symbol(self):
+        m = Mask.of(checker(1)) ^ Mask.ONES
+        assert "D1" in m.symbol and "1" in m.symbol
+
+    def test_hashable(self):
+        assert len({Mask.ZERO, Mask.ONES, Mask.of(checker(1))}) == 3
+
+
+class TestDataExpr:
+    def test_const0(self):
+        e = DataExpr.const0()
+        assert e.evaluate(0xAB, 8) == 0
+        assert e.symbol == "0"
+
+    def test_const1(self):
+        e = DataExpr.const1()
+        assert e.evaluate(0xAB, 8) == 0xFF
+        assert e.symbol == "1"
+
+    def test_content(self):
+        e = DataExpr.content()
+        assert e.evaluate(0xAB, 8) == 0xAB
+        assert e.symbol == "c"
+
+    def test_content_inv(self):
+        e = DataExpr.content_inv()
+        assert e.evaluate(0xAB, 8) == 0xAB ^ 0xFF
+        assert e.symbol == "~c"
+
+    def test_content_with_background(self):
+        e = DataExpr.content(Mask.of(checker(1)))
+        assert e.evaluate(0x00, 8) == 0b01010101
+        assert e.symbol == "(c^D1)"
+
+    def test_xor_operator(self):
+        e = DataExpr.content() ^ Mask.ONES
+        assert e == DataExpr.content_inv()
+
+    def test_width_truncation(self):
+        e = DataExpr.content()
+        assert e.evaluate(0x1FF, 8) == 0xFF
+
+    def test_absolute_background(self):
+        e = DataExpr.absolute(Mask.of(checker(2)))
+        assert e.evaluate(0xAB, 8) == 0b00110011  # content ignored
+
+
+class TestOp:
+    def test_shorthand_constructors(self):
+        assert Op.r0().is_read and not Op.r0().is_relative
+        assert Op.w1().is_write
+        assert str(Op.r0()) == "r0"
+        assert str(Op.w1()) == "w1"
+
+    def test_transparent_rendering(self):
+        op = Op.read(DataExpr.content(Mask.of(checker(1))))
+        assert str(op) == "r(c^D1)"
+        assert op.is_relative
+
+    def test_kind_str(self):
+        assert OpKind.READ.value == "r"
+        assert OpKind.WRITE.value == "w"
+
+    def test_counting_helpers(self):
+        ops = [Op.r0(), Op.w1(), Op.r1(), Op.w0(), Op.w1()]
+        assert reads(ops) == 2
+        assert writes(ops) == 3
+
+    def test_equality_and_hash(self):
+        assert Op.r0() == Op.r0()
+        assert Op.r0() != Op.w0()
+        assert len({Op.r0(), Op.r0(), Op.w0()}) == 2

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bist.executor import run_march
+from repro.bist.misr import Misr, signature_of
+from repro.core.backgrounds import covers_all_pairs, checker_backgrounds
+from repro.core.element import AddressOrder, MarchElement
+from repro.core.march import MarchTest
+from repro.core.notation import format_march, parse_march
+from repro.core.ops import Mask, Op, checkerboard, checker
+from repro.core.signature import prediction_test
+from repro.core.transparent import to_transparent
+from repro.core.twm import twm_transform
+from repro.core.validate import validate_solid, validate_transparent
+from repro.ecc.hamming import HammingSEC, HammingSECDED
+from repro.memory.faults import Cell, StuckAtFault
+from repro.memory.injection import FaultyMemory
+from repro.memory.model import Memory
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+orders = st.sampled_from(list(AddressOrder))
+widths = st.sampled_from([1, 2, 4, 8, 16, 32])
+
+
+@st.composite
+def bit_march_tests(draw):
+    """A random *valid* bit-oriented March test.
+
+    Built by construction: a pure-write init element followed by
+    elements whose reads always expect the tracked content value.
+    """
+    init_value = draw(st.integers(0, 1))
+    elements = [
+        MarchElement(
+            draw(orders), (Op.w1() if init_value else Op.w0(),)
+        )
+    ]
+    current = init_value
+    for _ in range(draw(st.integers(1, 5))):
+        ops = []
+        for _ in range(draw(st.integers(1, 5))):
+            if draw(st.booleans()):
+                ops.append(Op.r1() if current else Op.r0())
+            else:
+                current = draw(st.integers(0, 1))
+                ops.append(Op.w1() if current else Op.w0())
+        elements.append(MarchElement(draw(orders), tuple(ops)))
+    return MarchTest("random", tuple(elements))
+
+
+# ---------------------------------------------------------------------------
+# Background properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(1, 6), widths)
+def test_checkerboard_matches_rule(k, width):
+    value = checkerboard(k, width)
+    for j in range(width):
+        assert (value >> j) & 1 == (1 if (j >> (k - 1)) % 2 == 0 else 0)
+
+
+@given(st.sampled_from([2, 4, 8, 16, 32, 64]))
+def test_checker_plan_separates_pairs(width):
+    assert covers_all_pairs(checker_backgrounds(width), width)
+
+
+@given(st.lists(st.integers(1, 5), max_size=6), widths)
+def test_mask_xor_is_involutive(ks, width):
+    mask = Mask.ZERO
+    for k in ks:
+        mask ^= Mask.of(checker(k))
+    twice = mask
+    for k in ks:
+        twice ^= Mask.of(checker(k))
+        twice ^= Mask.of(checker(k))
+    assert twice == mask
+    # Resolution distributes over XOR.
+    resolved = 0
+    for k in ks:
+        resolved ^= checkerboard(k, width)
+    assert mask.resolve(width) == resolved
+
+
+# ---------------------------------------------------------------------------
+# Notation round trip
+# ---------------------------------------------------------------------------
+
+
+@given(bit_march_tests())
+def test_notation_round_trip(test):
+    assert parse_march(str(test)).same_structure(test)
+    assert parse_march(format_march(test, ascii_only=True)).same_structure(test)
+
+
+@given(bit_march_tests())
+def test_generated_tests_are_valid(test):
+    assert validate_solid(test).ok
+
+
+# ---------------------------------------------------------------------------
+# Transformation invariants
+# ---------------------------------------------------------------------------
+
+
+@given(bit_march_tests())
+@settings(max_examples=60)
+def test_transparent_transform_is_valid_and_restoring(test):
+    result = to_transparent(test)
+    assert validate_transparent(result.transparent).ok
+
+
+@given(bit_march_tests(), st.sampled_from([1, 2, 4, 8, 16]), st.integers(0, 2**32))
+@settings(max_examples=60)
+def test_twmarch_transparency_invariant(test, width, seed):
+    """The central invariant: TWMarch restores any initial content."""
+    result = twm_transform(test, width)
+    memory = Memory(5, width)
+    memory.randomize(random.Random(seed))
+    before = memory.snapshot()
+    run = run_march(result.twmarch, memory)
+    assert not run.detected
+    assert memory.snapshot() == before
+
+
+@given(bit_march_tests(), st.sampled_from([2, 4, 8]))
+@settings(max_examples=40)
+def test_twm_prediction_counts_reads(test, width):
+    result = twm_transform(test, width)
+    assert result.tcp == result.twmarch.n_reads
+    assert all(op.is_read for op in result.prediction.all_ops)
+
+
+@given(bit_march_tests(), st.sampled_from([2, 4, 8]), st.integers(0, 2**32))
+@settings(max_examples=40)
+def test_prediction_signature_matches_fault_free_run(test, width, seed):
+    result = twm_transform(test, width)
+    memory = Memory(4, width)
+    memory.randomize(random.Random(seed))
+    snapshot = memory.snapshot()
+
+    predicted = Misr(16)
+    run_march(
+        result.prediction,
+        memory,
+        snapshot=snapshot,
+        read_sink=lambda rec: predicted.absorb(rec.raw ^ rec.mask_value),
+    )
+    actual = Misr(16)
+    run_march(
+        result.twmarch,
+        memory,
+        snapshot=snapshot,
+        read_sink=lambda rec: actual.absorb(rec.raw),
+    )
+    assert predicted.signature == actual.signature
+
+
+@given(bit_march_tests(), st.sampled_from([2, 4]))
+@settings(max_examples=30)
+def test_prediction_leaves_memory_untouched(test, width):
+    result = twm_transform(test, width)
+    memory = Memory(4, width)
+    memory.randomize(random.Random(0))
+    before = memory.snapshot()
+    run_march(result.prediction, memory)
+    assert memory.snapshot() == before
+
+
+# ---------------------------------------------------------------------------
+# Memory & fault properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 255)), min_size=1, max_size=30
+    )
+)
+def test_memory_matches_reference_model(ops):
+    memory = Memory(4, 8)
+    reference = [0, 0, 0, 0]
+    for addr, value in ops:
+        memory.write(addr, value)
+        reference[addr] = value
+    assert memory.snapshot() == reference
+
+
+@given(
+    st.integers(0, 3),
+    st.integers(0, 7),
+    st.integers(0, 1),
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 255)), max_size=20),
+)
+def test_stuck_cell_is_always_stuck(addr, bit, value, ops):
+    memory = FaultyMemory(4, 8, [StuckAtFault(Cell(addr, bit), value)])
+    for a, v in ops:
+        memory.write(a, v)
+        assert memory.get_bit(addr, bit) == value
+
+
+# ---------------------------------------------------------------------------
+# MISR / ECC properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(0, 2**16 - 1), max_size=40))
+def test_misr_deterministic(stream):
+    assert signature_of(stream, 16) == signature_of(stream, 16)
+
+
+@given(st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=40), st.data())
+def test_misr_single_flip_changes_signature(stream, data):
+    index = data.draw(st.integers(0, len(stream) - 1))
+    bit = data.draw(st.integers(0, 15))
+    mutated = list(stream)
+    mutated[index] ^= 1 << bit
+    # A single-bit input flip always changes a linear signature
+    # (the error polynomial is a non-zero monomial).
+    assert signature_of(mutated, 16) != signature_of(stream, 16)
+
+
+@given(st.sampled_from([4, 8, 16, 32]), st.data())
+def test_hamming_sec_round_trip_and_correction(data_bits, data):
+    codec = HammingSEC(data_bits)
+    value = data.draw(st.integers(0, (1 << data_bits) - 1))
+    cw = codec.encode(value)
+    assert codec.decode(cw).data == value
+    flip = data.draw(st.integers(0, codec.code_bits - 1))
+    result = codec.decode(cw ^ (1 << flip))
+    assert result.corrected and result.data == value
+
+
+@given(st.sampled_from([4, 8, 16]), st.data())
+def test_secded_double_error_detection(data_bits, data):
+    codec = HammingSECDED(data_bits)
+    value = data.draw(st.integers(0, (1 << data_bits) - 1))
+    cw = codec.encode(value)
+    b1 = data.draw(st.integers(0, codec.code_bits - 1))
+    b2 = data.draw(
+        st.integers(0, codec.code_bits - 1).filter(lambda b: b != b1)
+    )
+    result = codec.decode(cw ^ (1 << b1) ^ (1 << b2))
+    assert result.error_detected and result.uncorrectable

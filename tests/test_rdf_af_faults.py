@@ -1,0 +1,152 @@
+"""Tests for the extension fault models: read-disturb and decoder faults."""
+
+import pytest
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.library import catalog
+from repro.memory.faults import AddressDecoderFault, Cell, ReadDisturbFault
+from repro.memory.injection import (
+    FaultyMemory,
+    enumerate_address_faults,
+    enumerate_read_disturb,
+)
+
+
+class TestReadDisturbSemantics:
+    def test_rdf_read_returns_flipped_and_flips(self):
+        m = FaultyMemory(2, 4, [ReadDisturbFault(Cell(0, 1), deceptive=False)])
+        m.load([0b0000, 0])
+        assert m.read(0) == 0b0010  # returned value already flipped
+        assert m.read(0) == 0b0000  # flips back on the next read
+
+    def test_drdf_read_returns_correct_but_flips(self):
+        m = FaultyMemory(2, 4, [ReadDisturbFault(Cell(0, 1), deceptive=True)])
+        m.load([0b0000, 0])
+        assert m.read(0) == 0b0000  # deceptive: looks clean
+        assert m.read(0) == 0b0010  # damage visible on the second read
+
+    def test_write_resets_disturbed_cell(self):
+        m = FaultyMemory(1, 4, [ReadDisturbFault(Cell(0, 0), deceptive=True)])
+        m.load([0])
+        m.read(0)  # cell flips to 1
+        m.write(0, 0)
+        assert m.snapshot() == [0]
+
+    def test_other_cells_unaffected(self):
+        m = FaultyMemory(1, 4, [ReadDisturbFault(Cell(0, 0))])
+        m.load([0b1100])
+        got = m.read(0)
+        assert got & 0b1100 == 0b1100
+
+    def test_describe(self):
+        assert ReadDisturbFault(Cell(1, 2)).describe() == "RDF@(1,2)"
+        assert ReadDisturbFault(Cell(1, 2), True).describe() == "DRDF@(1,2)"
+        assert ReadDisturbFault(Cell(0, 0)).kind == "RDF"
+
+
+class TestAddressFaultSemantics:
+    def test_none_drops_writes_and_floats_reads(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(1, "none", float_value=0)])
+        m.write(1, 0xF)
+        assert m.read(1) == 0
+        assert m.snapshot()[1] == 0  # physical cell never written
+
+    def test_none_float_value(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(1, "none", float_value=0xF)])
+        assert m.read(1) == 0xF
+
+    def test_other_redirects_both_ways_of_access(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(0, "other", 2)])
+        m.write(0, 0x5)
+        assert m.snapshot()[0] == 0  # own cell untouched
+        assert m.snapshot()[2] == 0x5
+        assert m.read(0) == 0x5  # reads also redirected
+
+    def test_multi_writes_both(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(0, "multi", 3)])
+        m.write(0, 0x9)
+        assert m.snapshot()[0] == 0x9
+        assert m.snapshot()[3] == 0x9
+
+    def test_multi_reads_wired_and(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(0, "multi", 3)])
+        m.load([0b1100, 0, 0, 0b1010])
+        assert m.read(0) == 0b1000
+
+    def test_multi_reads_wired_or(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(0, "multi", 3, wired_or=True)])
+        m.load([0b1100, 0, 0, 0b1010])
+        assert m.read(0) == 0b1110
+
+    def test_unaffected_addresses_normal(self):
+        m = FaultyMemory(4, 4, [AddressDecoderFault(0, "none")])
+        m.write(2, 0x7)
+        assert m.read(2) == 0x7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressDecoderFault(0, "bogus")
+        with pytest.raises(ValueError):
+            AddressDecoderFault(0, "other")  # missing other_addr
+        with pytest.raises(ValueError):
+            AddressDecoderFault(0, "other", 0)  # same address
+        with pytest.raises(ValueError):
+            AddressDecoderFault(9, "none").validate(4, 4)
+
+    def test_describe(self):
+        assert AddressDecoderFault(1, "none").describe() == "AF-none@1"
+        assert "AF-other@0->2" == AddressDecoderFault(0, "other", 2).describe()
+        assert "and" in AddressDecoderFault(0, "multi", 2).describe()
+
+
+class TestEnumeration:
+    def test_read_disturb_counts(self):
+        assert len(list(enumerate_read_disturb(2, 4))) == 2 * 2 * 4
+        assert len(list(enumerate_read_disturb(2, 4, deceptive=True))) == 8
+
+    def test_address_fault_count(self):
+        faults = list(enumerate_address_faults(4))
+        # n AF-1 + 2 per ordered pair (AF-2, AF-3).
+        assert len(faults) == 4 + 2 * 4 * 3
+
+    def test_enumerated_faults_validate(self):
+        for fault in enumerate_address_faults(4):
+            fault.validate(4, 8)
+
+
+class TestClassicDetectionResults:
+    """Textbook results: double-read tests catch DRDF, March C- cannot."""
+
+    def _coverage(self, name, universe):
+        flow = compare_flow(catalog.get(name), 6, 1, initial=0)
+        return run_campaign(flow, universe).coverage_vector()
+
+    @pytest.fixture(scope="class")
+    def universes(self):
+        return {
+            "RDF": list(enumerate_read_disturb(6, 1, deceptive=False)),
+            "DRDF": list(enumerate_read_disturb(6, 1, deceptive=True)),
+            "AF": list(enumerate_address_faults(6)),
+        }
+
+    def test_march_cm_blind_to_drdf(self, universes):
+        vec = self._coverage("March C-", universes)
+        assert vec["RDF"] == 100.0
+        assert vec["DRDF"] == 0.0
+        assert vec["AF"] == 100.0
+
+    @pytest.mark.parametrize("name", ["March SS", "March RAW"])
+    def test_double_read_tests_catch_drdf(self, name, universes):
+        vec = self._coverage(name, universes)
+        assert vec["RDF"] == 100.0
+        assert vec["DRDF"] == 100.0
+        assert vec["AF"] == 100.0
+
+    def test_transparent_twm_inherits_drdf_coverage(self, universes):
+        from repro.core.twm import twm_transform
+
+        twm = twm_transform(catalog.get("March SS"), 2)
+        flow = compare_flow(twm.twmarch, 6, 2, initial=None, seed=3)
+        drdf = list(enumerate_read_disturb(6, 2, deceptive=True))
+        report = run_campaign(flow, {"DRDF": drdf})
+        assert report.classes["DRDF"].percent == 100.0

@@ -1,0 +1,48 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.reports import percent, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+=")
+        assert "| a " in lines[1]
+        assert any("| 33" in line for line in lines)
+        assert lines[-1].startswith("+-")
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_column_width_from_cells(self):
+        out = render_table(["a"], [["wide-cell-content"]])
+        header_line = out.splitlines()[1]
+        assert len(header_line) >= len("| wide-cell-content |")
+
+    def test_all_lines_same_width(self):
+        out = render_table(["col1", "c"], [["x", "yyyy"], ["zz", "w"]])
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_non_string_cells_stringified(self):
+        out = render_table(["v"], [[3.5], [None]])
+        assert "3.5" in out and "None" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "| a" in out
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.559) == "55.9%"
+        assert percent(0.5, digits=0) == "50%"
+        assert percent(1.0) == "100.0%"

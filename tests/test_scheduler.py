@@ -1,0 +1,185 @@
+"""Tests for the online (idle-time) test scheduler."""
+
+import random
+
+import pytest
+
+from repro.bist.scheduler import OnlineTestScheduler, random_workload
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.faults import Cell, StuckAtFault
+from repro.memory.injection import FaultyMemory
+from repro.memory.model import Memory
+from repro.memory.traces import AccessEvent
+
+
+def make_scheduler(memory, name="March C-", width=8, **kwargs):
+    result = twm_transform(catalog.get(name), width)
+    return OnlineTestScheduler(
+        memory, result.twmarch, result.prediction, **kwargs
+    )
+
+
+def idle_workload(cycle, rng):
+    return None
+
+
+class TestIdleOnlyOperation:
+    def test_sessions_complete_and_stay_silent(self):
+        memory = Memory(4, 8)
+        memory.randomize(random.Random(0))
+        sched = make_scheduler(memory, ops_per_idle_cycle=8)
+        cycles = sched.session_ops * 3 // 8 + 10
+        report = sched.run(idle_workload, cycles)
+        assert report.sessions_completed >= 2
+        assert report.detections == []
+        assert report.sessions_aborted == 0
+        assert report.idle_cycles == cycles
+
+    def test_memory_unchanged_after_sessions(self):
+        memory = Memory(4, 8)
+        memory.randomize(random.Random(1))
+        before = memory.snapshot()
+        sched = make_scheduler(memory, ops_per_idle_cycle=16)
+        sched.run(idle_workload, sched.session_ops)
+        assert memory.snapshot() == before
+
+    def test_session_ops_accounting(self):
+        memory = Memory(4, 8)
+        result = twm_transform(catalog.get("March C-"), 8)
+        sched = OnlineTestScheduler(memory, result.twmarch, result.prediction)
+        assert sched.session_ops == (result.tcm + result.tcp) * 4
+
+
+class TestWorkloadInterference:
+    def test_system_write_aborts_session(self):
+        memory = Memory(4, 8)
+        sched = make_scheduler(memory, ops_per_idle_cycle=1)
+
+        def mostly_idle_with_one_write(cycle, rng):
+            if cycle == 5:
+                return AccessEvent("w", 0, 0xAA)
+            return None
+
+        report = sched.run(mostly_idle_with_one_write, 10)
+        assert report.sessions_aborted == 1
+
+    def test_system_read_does_not_abort(self):
+        memory = Memory(4, 8)
+        sched = make_scheduler(memory, ops_per_idle_cycle=1)
+
+        def reads_only(cycle, rng):
+            return AccessEvent("r", 1, 0) if cycle % 3 == 0 else None
+
+        report = sched.run(reads_only, 30)
+        assert report.sessions_aborted == 0
+
+    def test_busy_system_starves_testing(self):
+        memory = Memory(4, 8)
+        sched = make_scheduler(memory)
+
+        def always_busy(cycle, rng):
+            return AccessEvent("r", 0, 0)
+
+        report = sched.run(always_busy, 50)
+        assert report.sessions_completed == 0
+        assert report.idle_cycles == 0
+
+    def test_random_workload_mix(self):
+        memory = Memory(2, 8)
+        memory.randomize(random.Random(2))
+        sched = make_scheduler(memory, ops_per_idle_cycle=8)
+        workload = random_workload(2, 8, idle_fraction=0.9, write_fraction=0.05)
+        report = sched.run(workload, 4000)
+        assert report.sessions_completed > 0
+        # No fault injected: completed sessions must not fire.
+        assert report.detections == []
+
+    def test_shorter_tests_interfere_less(self):
+        # The paper's motivation: a shorter transparent test has a higher
+        # chance of fitting between system writes.  Compare TWM against
+        # the much longer Scheme 1 test under the same hostile workload.
+        from repro.baselines.scheme1 import scheme1_transform
+
+        completed = {}
+        for label, factory in {
+            "twm": lambda: twm_transform(catalog.get("March C-"), 32),
+            "s1": lambda: scheme1_transform(catalog.get("March C-"), 32),
+        }.items():
+            result = factory()
+            memory = Memory(2, 32)
+            memory.randomize(random.Random(5))
+            sched = OnlineTestScheduler(
+                memory,
+                result.twmarch if label == "twm" else result.transparent,
+                result.prediction,
+                ops_per_idle_cycle=4,
+                rng=random.Random(9),
+            )
+            workload = random_workload(2, 32, idle_fraction=0.9, write_fraction=0.1)
+            completed[label] = sched.run(workload, 6000).sessions_completed
+        assert completed["twm"] >= completed["s1"]
+        assert completed["twm"] > 0
+
+
+class TestFaultDetection:
+    def test_detection_latency_measured(self):
+        memory = FaultyMemory(4, 8)
+        memory.randomize(random.Random(3))
+        sched = make_scheduler(memory, ops_per_idle_cycle=8)
+        inject_cycle = sched.session_ops // 8 // 2
+
+        def inject(mem):
+            mem.inject(StuckAtFault(Cell(2, 3), 1))
+
+        cycles = sched.session_ops * 4
+        report = sched.run(idle_workload, cycles, fault_at=(inject_cycle, inject))
+        assert report.fault_cycle == inject_cycle
+        assert report.detections, "fault never detected"
+        assert report.detection_latency is not None
+        assert report.detection_latency >= 0
+
+    def test_latency_none_when_no_fault(self):
+        memory = Memory(4, 8)
+        sched = make_scheduler(memory, ops_per_idle_cycle=4)
+        report = sched.run(idle_workload, 100)
+        assert report.detection_latency is None
+
+    def test_more_idle_time_means_lower_latency(self):
+        latencies = {}
+        for ops_per_cycle in (1, 8):
+            memory = FaultyMemory(4, 8)
+            memory.randomize(random.Random(4))
+            sched = make_scheduler(memory, ops_per_idle_cycle=ops_per_cycle)
+
+            def inject(mem):
+                mem.inject(StuckAtFault(Cell(1, 1), 0))
+
+            report = sched.run(
+                idle_workload,
+                sched.session_ops * 6,
+                fault_at=(3, inject),
+            )
+            latencies[ops_per_cycle] = report.detection_latency
+        assert latencies[8] is not None
+        assert latencies[1] is None or latencies[8] <= latencies[1]
+
+
+class TestWorkloadFactory:
+    def test_idle_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            random_workload(4, 8, idle_fraction=1.5)
+        with pytest.raises(ValueError):
+            random_workload(4, 8, write_fraction=-0.1)
+
+    def test_workload_event_shape(self):
+        workload = random_workload(4, 8, idle_fraction=0.0, write_fraction=1.0)
+        event = workload(0, random.Random(0))
+        assert event is not None
+        assert event.kind == "w"
+        assert 0 <= event.addr < 4
+        assert 0 <= event.value < 256
+
+    def test_rejects_solid_test(self):
+        with pytest.raises(ValueError):
+            OnlineTestScheduler(Memory(4, 8), catalog.get("March C-"))

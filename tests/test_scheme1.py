@@ -1,0 +1,117 @@
+"""Tests for the Scheme 1 (Nicolaidis word-oriented) baseline."""
+
+import pytest
+
+from repro.baselines.scheme1 import (
+    scheme1_formula_tcm,
+    scheme1_formula_tcp,
+    scheme1_transform,
+)
+from repro.core.notation import parse_march
+from repro.core.twm import TWMError
+from repro.core.validate import (
+    check_transparency_by_execution,
+    validate_transparent,
+)
+from repro.library import catalog
+
+
+class TestPaperExample:
+    """Section 3's example: March C− on 4-bit words (T1'..T4')."""
+
+    def setup_method(self):
+        self.result = scheme1_transform(catalog.get("March C-"), 4)
+
+    def test_pass_count(self):
+        # log2(4)+1 = 3 background passes + restore.
+        assert len(self.result.passes) == 4
+
+    def test_pass_op_counts(self):
+        counts = [p.op_count for p in self.result.passes]
+        # Executable construction: 9, 11, 11 + 2-op restore (the paper
+        # counts 9, 10, 10, 1 by folding the background switch; see
+        # DESIGN.md §4.4).
+        assert counts == [9, 11, 11, 2]
+
+    def test_first_pass_is_plain_transparent(self):
+        assert str(self.result.passes[0]) == (
+            "{⇑(rc,w~c); ⇑(r~c,wc); ⇓(rc,w~c); ⇓(r~c,wc); ⇕(rc)}"
+        )
+
+    def test_second_pass_uses_checkerboard(self):
+        text = str(self.result.passes[1])
+        assert "D1" in text
+        assert text.startswith("{⇕(rc,w(c^D1))")
+
+    def test_restore_returns_to_c(self):
+        assert str(self.result.passes[-1]) == "{⇕(r(c^D2),wc)}"
+
+
+class TestProperties:
+    @pytest.mark.parametrize("name", ["March C-", "March U", "March B"])
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_valid_transparent(self, name, width):
+        result = scheme1_transform(catalog.get(name), width)
+        assert validate_transparent(result.transparent).ok
+
+    @pytest.mark.parametrize("name", ["March C-", "March U"])
+    def test_transparency_by_execution(self, name):
+        result = scheme1_transform(catalog.get(name), 8)
+        assert check_transparency_by_execution(result.transparent)
+
+    def test_prediction_is_reads_only(self):
+        result = scheme1_transform(catalog.get("March C-"), 8)
+        assert all(op.is_read for op in result.prediction.all_ops)
+        assert result.tcp == result.transparent.n_reads
+
+    def test_grows_with_width(self):
+        t = catalog.get("March C-")
+        costs = [scheme1_transform(t, w).tcm for w in (4, 8, 16, 32)]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_width1_is_single_pass(self):
+        result = scheme1_transform(catalog.get("March C-"), 1)
+        assert len(result.passes) == 1
+        assert result.tcm == 9
+
+    def test_summary_mentions_passes(self):
+        s = scheme1_transform(catalog.get("March C-"), 8).summary()
+        assert "4 background passes" in s
+
+
+class TestFormulas:
+    def test_formula_tcm_matches_paper_example(self):
+        # N(log2 b + 1): March C- on 4-bit words = 30.
+        assert scheme1_formula_tcm(10, 4) == 30
+
+    def test_formula_tcp(self):
+        # Q + (Q+1) log2 b for March C- on 4-bit words: 5 + 12 = 17.
+        assert scheme1_formula_tcp(5, 4) == 17
+
+    @pytest.mark.parametrize("width", [4, 8, 16, 32])
+    def test_measured_close_to_formula(self, width):
+        # The executable construction costs at most 2 extra ops per
+        # non-first pass plus one on the restore.
+        t = catalog.get("March C-")
+        measured = scheme1_transform(t, width).tcm
+        formula = scheme1_formula_tcm(t.op_count, width)
+        from repro.core.backgrounds import log2_width
+
+        assert formula <= measured <= formula + 2 * log2_width(width) + 1
+
+
+class TestErrors:
+    def test_rejects_word_test(self):
+        t = parse_march("⇕(wD1); ⇑(rD1,w~D1)", name="bg")
+        with pytest.raises(TWMError):
+            scheme1_transform(t, 8)
+
+    def test_rejects_missing_init(self):
+        t = parse_march("⇕(r0,w1); ⇕(r1)", name="no-init")
+        with pytest.raises(TWMError, match="initialization"):
+            scheme1_transform(t, 4)
+
+    def test_rejects_non_power_width(self):
+        with pytest.raises(ValueError):
+            scheme1_transform(catalog.get("March C-"), 12)

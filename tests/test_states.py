@@ -1,0 +1,129 @@
+"""Tests for the Figure 1 state-analysis machinery."""
+
+import pytest
+
+from repro.analysis.states import (
+    intra_word_conditions,
+    pair_condition_coverage,
+    state_sequence,
+    two_cell_trace,
+)
+from repro.baselines.scheme1 import scheme1_transform
+from repro.core.twm import nontransparent_word_reference, twm_transform
+from repro.library import catalog
+
+
+class TestTwoCellTrace:
+    def test_march_cm_has_20_events(self):
+        # 2 init writes + the 18 numbered steps of Figure 1(a).
+        trace = two_cell_trace(catalog.get("March C-"))
+        assert len(trace) == 20
+
+    def test_fig1a_sequence(self):
+        # After the init element, March C- walks the 18-step sequence.
+        trace = two_cell_trace(catalog.get("March C-"))[2:]
+        labels = [e.label() for e in trace]
+        assert labels == [
+            "r0[i]", "w1[i]", "r0[j]", "w1[j]",   # up(r0,w1)
+            "r1[i]", "w0[i]", "r1[j]", "w0[j]",   # up(r1,w0)
+            "r0[j]", "w1[j]", "r0[i]", "w1[i]",   # down(r0,w1)
+            "r1[j]", "w0[j]", "r1[i]", "w0[i]",   # down(r1,w0)
+            "r0[i]", "r0[j]",                     # final reads
+        ]
+
+    def test_all_four_joint_states_visited(self):
+        trace = two_cell_trace(catalog.get("March C-"))
+        assert set(state_sequence(trace)) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_mats_plus_misses_states(self):
+        trace = two_cell_trace(catalog.get("MATS+"))
+        # MATS+ never holds (i=0, j=1) [down order pairs it the other way].
+        assert (0, 1) not in set(state_sequence(trace))
+
+    def test_transparent_test_trace(self):
+        t = twm_transform(catalog.get("March C-"), 1).twmarch
+        trace = two_cell_trace(t, initial=(0, 0))
+        assert set(state_sequence(trace)) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_transparent_trace_respects_initial(self):
+        t = twm_transform(catalog.get("March C-"), 1).twmarch
+        trace = two_cell_trace(t, initial=(1, 0))
+        assert trace[0].value == 1  # first read returns c_i = 1
+
+
+class TestPairConditionCoverage:
+    def test_march_cm_is_complete(self):
+        trace = two_cell_trace(catalog.get("March C-"))
+        cov = pair_condition_coverage(trace)
+        assert cov.complete
+        assert cov.cfid_complete and cov.cfin_complete and cov.cfst_complete
+
+    @pytest.mark.parametrize("name", ["March U", "March LR"])
+    def test_other_full_cf_tests_complete(self, name):
+        cov = pair_condition_coverage(two_cell_trace(catalog.get(name)))
+        assert cov.complete, f"{name}: cfid={sorted(cov.cfid)}"
+
+    def test_mats_plus_incomplete(self):
+        cov = pair_condition_coverage(two_cell_trace(catalog.get("MATS+")))
+        assert not cov.complete
+
+    def test_march_x_covers_cfin_not_all_cfid(self):
+        cov = pair_condition_coverage(two_cell_trace(catalog.get("March X")))
+        assert not cov.cfid_complete
+
+    def test_counts_bounded(self):
+        cov = pair_condition_coverage(two_cell_trace(catalog.get("March C-")))
+        assert len(cov.cfid) == 8
+        assert len(cov.cfin) == 4
+        assert len(cov.cfst) == 8
+
+
+class TestIntraWordConditions:
+    def test_solid_only_covers_diagonal(self):
+        # SMarch alone writes 0...0 and 1...1: only (0,0) and (1,1).
+        from repro.core.twm import solid_background_test
+
+        smarch, _ = solid_background_test(catalog.get("March C-"))
+        cond = intra_word_conditions(smarch, 4)
+        for pats in cond.covered.values():
+            assert pats == {(0, 0), (1, 1)}
+
+    def test_reference_covers_three_patterns_per_pair(self):
+        # SMarch+AMarch adds one mixed orientation per pair (the
+        # checkerboards pick one), so 3 of 4 patterns per ordered pair.
+        ref = nontransparent_word_reference(catalog.get("March C-"), 4)
+        cond = intra_word_conditions(ref, 4)
+        assert cond.pairs_with(3) == len(cond.covered)
+        assert not cond.all_pairs_full
+
+    def test_twmarch_matches_reference_conditions(self):
+        width = 8
+        ref = nontransparent_word_reference(catalog.get("March C-"), width)
+        twm = twm_transform(catalog.get("March C-"), width).twmarch
+        ref_cond = intra_word_conditions(ref, width)
+        twm_cond = intra_word_conditions(twm, width, initial=0)
+        assert ref_cond.covered == twm_cond.covered
+
+    def test_scheme1_covers_all_four(self):
+        # Scheme 1 writes both polarities of every checkerboard.
+        s1 = scheme1_transform(catalog.get("March C-"), 4).transparent
+        cond = intra_word_conditions(s1, 4, initial=0)
+        assert cond.all_pairs_full
+
+    def test_missing_reports_complement(self):
+        ref = nontransparent_word_reference(catalog.get("March C-"), 4)
+        cond = intra_word_conditions(ref, 4)
+        missing = cond.missing()
+        assert missing
+        for (i, j), pats in missing.items():
+            assert len(pats) == 1
+            # The missing pattern for (i,j) mirrors the one for (j,i).
+            (p,) = pats
+            (q,) = missing[(j, i)]
+            assert p == (q[1], q[0])
+
+    def test_pair_count(self):
+        cond = intra_word_conditions(
+            nontransparent_word_reference(catalog.get("March C-"), 4), 4
+        )
+        assert len(cond.covered) == 4 * 3

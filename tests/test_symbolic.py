@@ -1,0 +1,81 @@
+"""Tests for the symbolic word tracker (Table 1 machinery)."""
+
+import pytest
+
+from repro.analysis.symbolic import symbolic_rows, table1_rows
+from repro.core.ops import Mask, checker
+from repro.core.twm import atmarch, twm_transform
+from repro.library import catalog
+
+
+class TestSymbolicRows:
+    def test_row_count_full_atmarch(self):
+        tail = atmarch(8, inverted=False)
+        rows = symbolic_rows(tail)
+        assert len(rows) == tail.op_count == 16
+
+    def test_first_three_elements_slice(self):
+        tail = atmarch(8, inverted=False)
+        rows = symbolic_rows(tail, elements=slice(0, 3))
+        assert len(rows) == 15
+        assert {r.element_index for r in rows} == {0, 1, 2}
+
+    def test_content_follows_writes(self):
+        tail = atmarch(8, inverted=False)
+        rows = symbolic_rows(tail, elements=slice(0, 1))
+        # r c, w c^D1, r, w c, r  ->  content: c, c^D1, c^D1, c, c.
+        masks = [row.content_mask for row in rows]
+        d1 = Mask.of(checker(1))
+        assert masks == [Mask.ZERO, d1, d1, Mask.ZERO, Mask.ZERO]
+
+    def test_content_bits_rendering(self):
+        tail = atmarch(8, inverted=False)
+        rows = symbolic_rows(tail, elements=slice(0, 1))
+        after_d1 = rows[1]
+        bits = after_d1.content_bits(8)
+        # D1 = 01010101: even bit positions complemented (MSB first).
+        assert bits == ["a7", "~a6", "a5", "~a4", "a3", "~a2", "a1", "~a0"]
+
+    def test_initial_row_is_plain_content(self):
+        tail = atmarch(8, inverted=False)
+        rows = symbolic_rows(tail)
+        assert rows[0].content_string(8) == "a7 a6 a5 a4 a3 a2 a1 a0"
+
+    def test_start_mask_offsets_content(self):
+        tail = atmarch(8, inverted=True)
+        rows = symbolic_rows(tail, start_mask=Mask.ONES)
+        assert rows[0].content_bits(8)[0] == "~a7"
+
+    def test_rejects_solid_test(self):
+        with pytest.raises(ValueError):
+            symbolic_rows(catalog.get("March C-"))
+
+    def test_custom_symbol(self):
+        tail = atmarch(4, inverted=False)
+        rows = symbolic_rows(tail)
+        assert rows[0].content_string(4, symbol="x") == "x3 x2 x1 x0"
+
+
+class TestTable1:
+    def test_row_shape(self):
+        result = twm_transform(catalog.get("March U"), 8)
+        rows = table1_rows(result.atmarch)
+        assert len(rows) == 15
+        op, content = rows[0]
+        assert op == "rc"
+        assert content == "a7 a6 a5 a4 a3 a2 a1 a0"
+
+    def test_paper_patterns_appear(self):
+        result = twm_transform(catalog.get("March U"), 8)
+        rows = table1_rows(result.atmarch)
+        ops = [op for op, _ in rows]
+        assert "w(c^D1)" in ops
+        assert "w(c^D2)" in ops
+        assert "w(c^D3)" in ops
+
+    def test_each_element_restores_content(self):
+        result = twm_transform(catalog.get("March U"), 8)
+        rows = table1_rows(result.atmarch)
+        # Rows 5, 10, 15 are the element-final reads: content is back to c.
+        for idx in (4, 9, 14):
+            assert rows[idx][1] == "a7 a6 a5 a4 a3 a2 a1 a0"

@@ -1,0 +1,190 @@
+"""Tests for the symmetric transparent BIST extension."""
+
+import random
+
+import pytest
+
+from repro.bist.misr import Misr
+from repro.bist.symmetry import (
+    SymmetricBist,
+    XorAccumulator,
+    content_dependence,
+    is_symmetric,
+    reference_signature,
+    symmetrize,
+)
+from repro.core.notation import parse_march
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.memory.faults import Cell, StuckAtFault, TransitionFault
+from repro.memory.injection import FaultyMemory
+from repro.memory.model import Memory
+
+N_WORDS, WIDTH = 4, 4
+
+
+def twm(name="March C-"):
+    return twm_transform(catalog.get(name), WIDTH)
+
+
+class TestXorAccumulator:
+    def test_order_insensitive(self):
+        a = XorAccumulator(8)
+        b = XorAccumulator(8)
+        a.absorb_all([1, 2, 3])
+        b.absorb_all([3, 1, 2])
+        assert a.signature == b.signature
+
+    def test_even_multiplicity_cancels(self):
+        acc = XorAccumulator(8)
+        acc.absorb_all([0x5A, 0x5A])
+        assert acc.signature == 0
+
+    def test_fold(self):
+        acc = XorAccumulator(8)
+        acc.absorb(0x1FF)
+        assert acc.signature == (0xFF ^ 0x01)
+
+    def test_reset_and_spawn(self):
+        acc = XorAccumulator(8, seed=3)
+        acc.absorb(1)
+        clone = acc.spawn()
+        acc.reset()
+        assert acc.signature == 3
+        assert clone.signature == 3
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            XorAccumulator(0)
+
+
+class TestContentDependence:
+    def test_xor_accumulator_even_reads_symmetric(self):
+        # TWMarch C- at b=4 reads every word 12 times (even).
+        result = twm()
+        assert result.twmarch.n_reads % 2 == 0
+        assert is_symmetric(result.twmarch, N_WORDS, WIDTH, XorAccumulator(16))
+
+    def test_misr_not_symmetric(self):
+        # The shifting MISR weighs reads by time position: content leaks.
+        result = twm()
+        report = content_dependence(result.twmarch, N_WORDS, WIDTH, Misr(16))
+        assert not report.symmetric
+        assert report.dependent_cells > 0
+
+    def test_odd_read_test_not_symmetric(self):
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc); ⇕(rc)", name="odd-reads")
+        assert t.n_reads % 2 == 1
+        assert not is_symmetric(t, N_WORDS, WIDTH, XorAccumulator(16))
+
+    def test_dependence_rejects_solid_tests(self):
+        with pytest.raises(ValueError):
+            content_dependence(catalog.get("March C-"), N_WORDS, WIDTH)
+
+
+class TestSymmetrize:
+    def test_appends_read_for_odd_count(self):
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc); ⇕(rc)", name="odd-reads")
+        sym = symmetrize(t)
+        assert sym.n_reads == t.n_reads + 1
+        assert is_symmetric(sym, N_WORDS, WIDTH, XorAccumulator(16))
+
+    def test_no_change_for_even_count(self):
+        result = twm()
+        assert symmetrize(result.twmarch) is result.twmarch
+
+    def test_symmetrized_test_still_transparent(self):
+        from repro.core.validate import validate_transparent
+
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc); ⇕(rc)", name="odd-reads")
+        assert validate_transparent(symmetrize(t)).ok
+
+    def test_rejects_solid_tests(self):
+        with pytest.raises(ValueError):
+            symmetrize(catalog.get("March C-"))
+
+
+class TestReferenceSignature:
+    def test_constant_across_contents(self):
+        result = twm()
+        ref = reference_signature(result.twmarch, N_WORDS, WIDTH)
+        for seed in range(3):
+            memory = Memory(N_WORDS, WIDTH)
+            memory.randomize(random.Random(seed))
+            acc = XorAccumulator(16)
+            from repro.bist.executor import run_march
+
+            run_march(
+                result.twmarch,
+                memory,
+                read_sink=lambda rec: acc.absorb(rec.raw),
+            )
+            assert acc.signature == ref
+
+    def test_rejects_asymmetric_pairs(self):
+        result = twm()
+        with pytest.raises(ValueError, match="not symmetric"):
+            reference_signature(result.twmarch, N_WORDS, WIDTH, Misr(16))
+
+
+class TestSymmetricBist:
+    def setup_method(self):
+        # TWMarch C- at b=4 has 12 reads/word: divisible by 2*3 lanes,
+        # so no padding is needed.
+        self.bist = SymmetricBist(twm().twmarch, N_WORDS, WIDTH, lanes=3)
+
+    def test_fault_free_silent(self):
+        for seed in range(3):
+            memory = Memory(N_WORDS, WIDTH)
+            memory.randomize(random.Random(seed))
+            assert not self.bist.run(memory)
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_detects_stuck_at(self, value):
+        memory = FaultyMemory(N_WORDS, WIDTH, [StuckAtFault(Cell(2, 1), value)])
+        memory.randomize(random.Random(1))
+        assert self.bist.run(memory)
+
+    def test_detects_every_saf_and_tf(self):
+        from repro.memory.injection import enumerate_stuck_at, enumerate_transition
+
+        for fault in list(enumerate_stuck_at(N_WORDS, WIDTH)) + list(
+            enumerate_transition(N_WORDS, WIDTH)
+        ):
+            memory = FaultyMemory(N_WORDS, WIDTH, [fault])
+            memory.randomize(random.Random(5))
+            assert self.bist.run(memory), fault.describe()
+
+    def test_no_prediction_cost(self):
+        # Session = test phase only; the two-phase flow pays TCM+TCP.
+        two_phase = twm()
+        assert self.bist.session_ops == two_phase.tcm
+        assert self.bist.session_ops < two_phase.tcm + two_phase.tcp
+
+    def test_padding_applied_when_needed(self):
+        # TWMarch C- at b=8 has 15 reads/word: pad to 18 for 3 lanes.
+        result = twm_transform(catalog.get("March C-"), 8)
+        bist = SymmetricBist(result.twmarch, N_WORDS, 8, lanes=3)
+        assert bist.test.n_reads == 18
+        assert bist.session_ops == result.tcm + 3
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            self.bist.run(Memory(N_WORDS + 1, WIDTH))
+
+    def test_single_lane_has_systematic_masking(self):
+        # lanes=1 is the plain XOR accumulator: even-multiplicity fault
+        # effects cancel; the 3-lane default repairs this on SAF/TF.
+        from repro.memory.injection import enumerate_stuck_at
+
+        single = SymmetricBist(twm().twmarch, N_WORDS, WIDTH, lanes=1)
+        missed = 0
+        for fault in enumerate_stuck_at(N_WORDS, WIDTH):
+            memory = FaultyMemory(N_WORDS, WIDTH, [fault])
+            memory.randomize(random.Random(5))
+            missed += not single.run(memory)
+        assert missed > 0  # the weakness is real and measurable
+
+    def test_lanes_validation(self):
+        with pytest.raises(ValueError):
+            SymmetricBist(twm().twmarch, N_WORDS, WIDTH, lanes=0)

@@ -1,0 +1,122 @@
+"""Tests for the TOMT (Scheme 2) baseline."""
+
+import pytest
+
+from repro.baselines.tomt import (
+    TOMT_EXTRA_OPS,
+    TOMT_OPS_PER_BIT,
+    TomtBaseline,
+    plain_memory_tomt,
+    tomt_tcm,
+    tomt_test,
+)
+from repro.core.validate import (
+    check_transparency_by_execution,
+    validate_transparent,
+)
+from repro.ecc.parity import ParityCodec
+from repro.memory.faults import Cell, StuckAtFault, TransitionFault
+from repro.memory.model import Memory
+
+
+class TestTestStructure:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 32])
+    def test_op_count_formula(self, width):
+        assert tomt_test(width).op_count == tomt_tcm(width)
+        assert tomt_tcm(width) == TOMT_OPS_PER_BIT * width + TOMT_EXTRA_OPS
+
+    def test_headline_value(self):
+        # 32-bit words: 9*32 + 2 = 290 ops per word.
+        assert tomt_tcm(32) == 290
+
+    def test_transparent_form(self):
+        t = tomt_test(8)
+        assert t.is_transparent_form
+        assert validate_transparent(t).ok
+
+    def test_transparency_by_execution(self):
+        assert check_transparency_by_execution(tomt_test(8))
+
+    def test_element_per_bit(self):
+        t = tomt_test(4)
+        assert len(t.elements) == 4 + 2  # lead + per-bit + tail
+
+    def test_bit_element_exercises_both_transitions_twice(self):
+        element = tomt_test(4).elements[1]
+        writes = [op for op in element.ops if op.is_write]
+        assert len(writes) == 4  # flip, restore, flip, restore
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            tomt_test(0)
+
+
+class TestBaselineRunner:
+    def test_fault_free_run(self):
+        baseline = TomtBaseline(8)
+        memory = baseline.make_memory(8, fill=0x5A)
+        outcome = baseline.run(memory)
+        assert not outcome.detected
+        assert outcome.ops_executed == tomt_tcm(8) * 8
+
+    def test_data_bit_fault_detected_by_code(self):
+        baseline = TomtBaseline(8)
+        # Bit 2 of the codeword is a data position for Hamming ordering,
+        # but any stuck cell in the array must be caught.
+        memory = baseline.make_memory(4, [StuckAtFault(Cell(1, 2), 1)], fill=0)
+        outcome = baseline.run(memory)
+        assert outcome.detected
+
+    def test_check_bit_fault_detected(self):
+        baseline = TomtBaseline(8)
+        codec = baseline.codec
+        check_position = codec.code_bits - 1  # overall parity bit
+        memory = baseline.make_memory(
+            4, [StuckAtFault(Cell(0, check_position), 1)], fill=0
+        )
+        outcome = baseline.run(memory)
+        assert outcome.detected
+
+    def test_transition_fault_detected(self):
+        baseline = TomtBaseline(8)
+        memory = baseline.make_memory(
+            4, [TransitionFault(Cell(2, 0), rising=True)], fill=0
+        )
+        assert baseline.run(memory).detected
+
+    def test_detection_channel_is_code(self):
+        baseline = TomtBaseline(8)
+        memory = baseline.make_memory(4, [StuckAtFault(Cell(1, 0), 1)], fill=0)
+        outcome = baseline.run(memory)
+        assert outcome.code_detected
+
+    def test_parity_codec_variant(self):
+        baseline = TomtBaseline(4, codec=ParityCodec(4))
+        memory = baseline.make_memory(4, fill=0xA)
+        assert not baseline.run(memory).detected
+
+    def test_codec_width_mismatch(self):
+        with pytest.raises(ValueError):
+            TomtBaseline(8, codec=ParityCodec(4))
+
+    def test_restores_content(self):
+        baseline = TomtBaseline(8)
+        memory = baseline.make_memory(4, fill=0x37)
+        before = memory.snapshot()
+        baseline.run(memory)
+        assert memory.snapshot() == before
+
+
+class TestPlainMemoryTomt:
+    def test_fault_free(self):
+        outcome = plain_memory_tomt(Memory(4, 8, fill=0x12))
+        assert not outcome.detected
+        assert outcome.code_errors == 0
+
+    def test_detects_via_stream(self):
+        from repro.memory.injection import FaultyMemory
+
+        m = FaultyMemory(4, 8, [StuckAtFault(Cell(0, 3), 1)])
+        outcome = plain_memory_tomt(m)
+        assert outcome.detected
+        assert outcome.stream_mismatches > 0

@@ -1,0 +1,161 @@
+"""Tests for the classic (Nicolaidis) transparent transformation."""
+
+import pytest
+
+from repro.core.march import MarchTest
+from repro.core.notation import parse_march
+from repro.core.ops import Mask
+from repro.core.signature import prediction_test
+from repro.core.transparent import MarchConsistencyError, to_transparent
+from repro.core.validate import (
+    check_transparency_by_execution,
+    validate_transparent,
+)
+from repro.library import catalog
+
+
+class TestMarchCMinus:
+    """The paper's Section 3 worked example: TMarch C-."""
+
+    def test_structure_matches_paper(self):
+        result = to_transparent(catalog.get("March C-"))
+        assert str(result.transparent) == (
+            "{⇑(rc,w~c); ⇑(r~c,wc); ⇓(rc,w~c); ⇓(r~c,wc); ⇕(rc)}"
+        )
+
+    def test_init_dropped(self):
+        result = to_transparent(catalog.get("March C-"))
+        assert result.dropped_init
+        assert result.transparent.op_count == 9
+
+    def test_restored_without_extra_element(self):
+        result = to_transparent(catalog.get("March C-"))
+        assert not result.added_restore
+        assert result.final_mask.is_zero
+
+    def test_signature_prediction_matches_paper(self):
+        # Paper: {⇑(rc); ⇑(r~c); ⇓(rc); ⇓(r~c); ⇕(rc)}.
+        result = to_transparent(catalog.get("March C-"))
+        sp = prediction_test(result.transparent)
+        assert str(sp) == "{⇑(rc); ⇑(r~c); ⇓(rc); ⇓(r~c); ⇕(rc)}"
+        assert sp.op_count == 5
+
+
+class TestTransformationRules:
+    def test_restore_element_added_when_content_inverted(self):
+        # Ends with content 1 (inverse of the all-0 init).
+        t = parse_march("⇕(w0); ⇑(r0,w1)", name="ends-inverted")
+        result = to_transparent(t)
+        assert result.added_restore
+        last = result.transparent.elements[-1]
+        assert str(last) == "⇕(r~c,wc)"
+        assert result.final_mask.is_zero
+
+    def test_no_restore_flag_keeps_final_mask(self):
+        t = parse_march("⇕(w0); ⇑(r0,w1)", name="ends-inverted")
+        result = to_transparent(t, restore=False)
+        assert not result.added_restore
+        assert result.final_mask == Mask.ONES
+
+    def test_read_prepended_to_write_first_element(self):
+        # March SR has a pure-write element ⇑(w1) mid-test.
+        result = to_transparent(catalog.get("March SR"))
+        assert result.added_reads == 1
+        # N=14, init dropped (-1), one read prepended (+1), and March SR
+        # ends with content 1 so the restore element adds two more ops.
+        assert result.added_restore
+        assert result.transparent.op_count == 16
+
+    def test_init_with_one_value(self):
+        t = parse_march("⇕(w1); ⇑(r1,w0); ⇕(r0)", name="init1")
+        result = to_transparent(t)
+        assert result.init_mask == Mask.ONES
+        # r1 with init 1 -> rc; w0 -> w~c.
+        assert str(result.transparent.elements[0]) == "⇑(rc,w~c)"
+        assert result.added_restore
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_catalog_transforms_are_valid(self, name):
+        result = to_transparent(catalog.get(name))
+        report = validate_transparent(result.transparent)
+        assert report.ok, f"{name}: {report}"
+
+    @pytest.mark.parametrize("name", ["March C-", "March U", "March B", "March SR"])
+    def test_catalog_transforms_are_transparent_in_execution(self, name):
+        result = to_transparent(catalog.get(name))
+        assert check_transparency_by_execution(result.transparent, width=4)
+
+    def test_transform_preserves_read_count_plus_insertions(self):
+        for name in catalog.names():
+            original = catalog.get(name)
+            result = to_transparent(original, restore=False)
+            assert (
+                result.transparent.n_reads
+                == original.n_reads + result.added_reads
+            )
+
+
+class TestTransformErrors:
+    def test_rejects_transparent_input(self):
+        t = to_transparent(catalog.get("March C-")).transparent
+        with pytest.raises(ValueError, match="content-relative"):
+            to_transparent(t)
+
+    def test_rejects_inconsistent_reads(self):
+        t = parse_march("⇕(w0); ⇑(r1,w1)", name="bad")
+        with pytest.raises(MarchConsistencyError):
+            to_transparent(t)
+
+    def test_rejects_init_only(self):
+        t = parse_march("⇕(w0)", name="init-only")
+        with pytest.raises(MarchConsistencyError):
+            to_transparent(t)
+
+    def test_rejects_write_start_without_init(self):
+        t = parse_march("⇕(w0,r0,w1); ⇕(r1)", name="mixed-first")
+        with pytest.raises(MarchConsistencyError):
+            to_transparent(t)
+
+    def test_accepts_read_first_test(self):
+        # A test without init whose first op is a read (content = c).
+        t = parse_march("⇕(r0,w1); ⇕(r1,w0)", name="no-init")
+        result = to_transparent(t)
+        assert not result.dropped_init
+        assert str(result.transparent.elements[0]) == "⇕(rc,w~c)"
+
+
+class TestPredictionExtraction:
+    def test_prediction_is_read_only(self):
+        result = to_transparent(catalog.get("March B"))
+        sp = prediction_test(result.transparent)
+        assert all(op.is_read for op in sp.all_ops)
+
+    def test_prediction_drops_empty_elements(self):
+        # March SR's prepended-read pure-write element reduces to its read.
+        result = to_transparent(catalog.get("March SR"))
+        sp = prediction_test(result.transparent)
+        assert all(len(e) > 0 for e in sp.elements)
+
+    def test_prediction_rejects_solid_tests(self):
+        with pytest.raises(ValueError):
+            prediction_test(catalog.get("March C-"))
+
+    def test_prediction_read_count(self):
+        result = to_transparent(catalog.get("March C-"))
+        sp = prediction_test(result.transparent)
+        assert sp.op_count == result.transparent.n_reads
+
+    def test_prediction_rejects_all_write_test(self):
+        from repro.core.element import AddressOrder, MarchElement
+        from repro.core.ops import DataExpr, Op
+
+        t = MarchTest(
+            "w-only",
+            (
+                MarchElement(
+                    AddressOrder.ANY, (Op.write(DataExpr.content()),)
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="no read"):
+            prediction_test(t)

@@ -1,0 +1,238 @@
+"""Tests for TWM_TA (Algorithm 1) — the paper's core contribution."""
+
+import pytest
+
+from repro.core.backgrounds import log2_width
+from repro.core.march import MarchTest
+from repro.core.notation import parse_march
+from repro.core.twm import (
+    TWMError,
+    atmarch,
+    nontransparent_word_reference,
+    solid_background_test,
+    twm_transform,
+)
+from repro.core.validate import (
+    check_transparency_by_execution,
+    validate_transparent,
+)
+from repro.library import catalog
+
+
+class TestPaperWorkedExampleMarchU:
+    """Section 4's worked example: March U on an 8-bit-word memory."""
+
+    def setup_method(self):
+        self.result = twm_transform(catalog.get("March U"), 8)
+
+    def test_appended_read(self):
+        # SMarch U ends with a write, so a read element is appended.
+        assert self.result.appended_read
+        assert str(self.result.smarch.elements[-1]) == "⇕(r0)"
+
+    def test_tsmarch_structure_matches_paper(self):
+        assert str(self.result.tsmarch) == (
+            "{⇑(rc,w~c,r~c,wc); ⇑(rc,w~c); ⇓(r~c,wc,rc,w~c); ⇓(r~c,wc); ⇕(rc)}"
+        )
+
+    def test_tsmarch_length_13(self):
+        assert self.result.tsmarch.op_count == 13
+
+    def test_not_inverted(self):
+        # Paper: "the content of each word is equal to the initial content".
+        assert not self.result.inverted
+
+    def test_atmarch_length_16(self):
+        assert self.result.atmarch.op_count == 16
+
+    def test_atmarch_structure(self):
+        assert str(self.result.atmarch) == (
+            "{⇕(rc,w(c^D1),r(c^D1),wc,rc); "
+            "⇕(rc,w(c^D2),r(c^D2),wc,rc); "
+            "⇕(rc,w(c^D3),r(c^D3),wc,rc); ⇕(rc)}"
+        )
+
+    def test_total_complexity_29(self):
+        # Paper: "The complexity of the transformed transparent
+        # word-oriented March U is 29 for testing a memory with 8-bit words".
+        assert self.result.tcm == 29
+
+    def test_prediction_complexity(self):
+        assert self.result.tcp == self.result.twmarch.n_reads == 17
+
+    def test_transparent(self):
+        assert validate_transparent(self.result.twmarch).ok
+        assert check_transparency_by_execution(self.result.twmarch)
+
+
+class TestMarchCMinus32:
+    """The headline configuration: March C− on 32-bit words."""
+
+    def setup_method(self):
+        self.result = twm_transform(catalog.get("March C-"), 32)
+
+    def test_tcm_35(self):
+        assert self.result.tcm == 35  # 9 + 5*5 + 1
+
+    def test_tcp_21(self):
+        assert self.result.tcp == 21  # 5 + 3*5 + 1
+
+    def test_no_appended_read(self):
+        assert not self.result.appended_read
+
+    def test_tsmarch_is_9_ops(self):
+        assert self.result.tsmarch.op_count == 9
+
+    def test_atmarch_has_log2b_pattern_elements(self):
+        assert len(self.result.atmarch.elements) == 6  # 5 patterns + final read
+
+
+class TestFormulaConsistency:
+    @pytest.mark.parametrize("name", ["March C-", "March X", "March Y", "March C", "March LR"])
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32, 64, 128])
+    def test_tcm_formula_for_read_ending_tests(self, name, width):
+        # Tests satisfying the paper's assumptions: TCM = N + 5*log2 b.
+        test = catalog.get(name)
+        assert test.all_ops[-1].is_read
+        result = twm_transform(test, width)
+        assert result.tcm == test.op_count + 5 * log2_width(width)
+
+    @pytest.mark.parametrize("name", ["March U", "MATS+", "March A", "March B"])
+    @pytest.mark.parametrize("width", [4, 8, 32])
+    def test_tcm_formula_for_write_ending_tests(self, name, width):
+        # One extra appended read.
+        test = catalog.get(name)
+        assert test.all_ops[-1].is_write
+        result = twm_transform(test, width)
+        assert result.tcm == test.op_count + 5 * log2_width(width) + 1
+
+    @pytest.mark.parametrize("width", [4, 8, 32, 64])
+    def test_tcp_formula(self, width):
+        test = catalog.get("March C-")
+        result = twm_transform(test, width)
+        assert result.tcp == test.n_reads + 3 * log2_width(width) + 1
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_prediction_equals_reads(self, name):
+        result = twm_transform(catalog.get(name), 16)
+        assert result.tcp == result.twmarch.n_reads
+
+
+class TestInvertedBranch:
+    def setup_method(self):
+        # SMarch ends with a read of all-1: TSMarch leaves content at ~c.
+        self.bmarch = parse_march("⇕(w0); ⇑(r0,w1); ⇕(r1)", name="inv")
+        self.result = twm_transform(self.bmarch, 8)
+
+    def test_detects_inversion(self):
+        assert self.result.inverted
+
+    def test_atmarch_cost_unchanged(self):
+        assert self.result.atmarch.op_count == 5 * 3 + 1
+
+    def test_last_pattern_element_restores(self):
+        last_pattern = self.result.atmarch.elements[-2]
+        # Second write flips back to c.
+        writes = [op for op in last_pattern.ops if op.is_write]
+        assert writes[-1].data.mask.is_zero
+
+    def test_transparent(self):
+        assert validate_transparent(self.result.twmarch).ok
+        assert check_transparency_by_execution(self.result.twmarch)
+
+    def test_final_element_reads_c(self):
+        assert str(self.result.atmarch.elements[-1]) == "⇕(rc)"
+
+
+class TestAtmarchEdgeWidths:
+    def test_width1_not_inverted(self):
+        tail = atmarch(1, inverted=False)
+        assert tail.op_count == 1
+        assert str(tail) == "{⇕(rc)}"
+
+    def test_width1_inverted(self):
+        tail = atmarch(1, inverted=True)
+        # Degenerate: restore + final read (documented deviation).
+        assert str(tail) == "{⇕(r~c,wc); ⇕(rc)}"
+
+    def test_width2(self):
+        tail = atmarch(2, inverted=False)
+        assert tail.op_count == 6  # 5*1 + 1
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            atmarch(12, inverted=False)
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("inverted", [False, True])
+    def test_atmarch_always_ends_restored(self, width, inverted):
+        tail = atmarch(width, inverted=inverted)
+        final_writes = [op for op in tail.all_ops if op.is_write]
+        if final_writes:
+            assert final_writes[-1].data.mask.is_zero
+
+
+class TestSolidBackgroundStep:
+    def test_appends_read_for_write_ending(self):
+        smarch, appended = solid_background_test(catalog.get("MATS+"))
+        assert appended
+        assert smarch.op_count == 6
+
+    def test_no_append_for_read_ending(self):
+        smarch, appended = solid_background_test(catalog.get("March C-"))
+        assert not appended
+        assert smarch.op_count == 10
+
+    def test_append_disabled(self):
+        smarch, appended = solid_background_test(
+            catalog.get("MATS+"), append_read=False
+        )
+        assert not appended
+
+
+class TestTwmErrors:
+    def test_rejects_word_background_test(self):
+        t = parse_march("⇕(wD1); ⇑(rD1,w~D1)", name="word-bg")
+        with pytest.raises(TWMError, match="bit-oriented"):
+            twm_transform(t, 8)
+
+    def test_rejects_transparent_input(self):
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc)", name="transparent")
+        with pytest.raises(TWMError):
+            twm_transform(t, 8)
+
+    def test_rejects_non_power_width(self):
+        with pytest.raises(ValueError):
+            twm_transform(catalog.get("March C-"), 24)
+
+
+class TestNontransparentReference:
+    def test_structure(self):
+        ref = nontransparent_word_reference(catalog.get("March C-"), 4)
+        # SMarch (10 ops) + AMarch (2 patterns * 5 + 1).
+        assert ref.op_count == 10 + 11
+
+    def test_amarch_uses_final_content_base(self):
+        # March C- leaves all-0; AMarch base is therefore 0.
+        ref = nontransparent_word_reference(catalog.get("March C-"), 4)
+        tail = ref.elements[-1]
+        assert str(tail) == "⇕(r0)"
+
+    def test_solid_form(self):
+        ref = nontransparent_word_reference(catalog.get("March U"), 8)
+        assert ref.is_solid_form
+
+    def test_valid_solid(self):
+        from repro.core.validate import validate_solid
+
+        ref = nontransparent_word_reference(catalog.get("March C-"), 8)
+        assert validate_solid(ref).ok
+
+
+@pytest.mark.parametrize("name", catalog.names())
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_every_catalog_test_transforms_validly(name, width):
+    result = twm_transform(catalog.get(name), width)
+    assert validate_transparent(result.twmarch).ok
+    assert result.tcm == result.twmarch.op_count
+    assert result.twmarch.is_transparent_form

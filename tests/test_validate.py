@@ -1,0 +1,84 @@
+"""Tests for March-test validation."""
+
+from repro.core.notation import parse_march
+from repro.core.twm import twm_transform
+from repro.core.validate import (
+    check_transparency_by_execution,
+    validate_solid,
+    validate_transparent,
+)
+from repro.library import catalog
+
+
+class TestValidateSolid:
+    def test_catalog_is_valid(self):
+        for name in catalog.names():
+            assert validate_solid(catalog.get(name)).ok
+
+    def test_detects_wrong_read(self):
+        t = parse_march("⇕(w0); ⇑(r1,w1)", name="bad")
+        report = validate_solid(t)
+        assert not report.ok
+        assert "read expects" in report.problems[0]
+
+    def test_detects_read_before_init(self):
+        t = parse_march("⇕(r0,w0)", name="uninit")
+        report = validate_solid(t)
+        assert not report.ok
+        assert "uninitialized" in report.problems[0]
+
+    def test_rejects_transparent_tests(self):
+        t = twm_transform(catalog.get("March C-"), 4).twmarch
+        assert not validate_solid(t).ok
+
+    def test_reads_within_element_track_writes(self):
+        t = parse_march("⇕(w0); ⇑(r0,w1,r1,w0,r0)", name="tracked")
+        assert validate_solid(t).ok
+
+    def test_report_str(self):
+        assert str(validate_solid(catalog.get("March C-"))) == "OK"
+
+
+class TestValidateTransparent:
+    def test_generated_tests_valid(self):
+        for name in catalog.names():
+            for width in (2, 8):
+                result = twm_transform(catalog.get(name), width)
+                assert validate_transparent(result.twmarch).ok
+
+    def test_detects_solid_ops(self):
+        assert not validate_transparent(catalog.get("March C-")).ok
+
+    def test_detects_non_restoring(self):
+        t = parse_march("⇕(rc,w~c)", name="flips")
+        report = validate_transparent(t)
+        assert not report.ok
+        assert any("not transparent" in p for p in report.problems)
+
+    def test_detects_phase_mismatch(self):
+        t = parse_march("⇕(rc,w~c); ⇕(rc,wc)", name="bad-phase")
+        report = validate_transparent(t)
+        assert not report.ok
+
+    def test_detects_underivable_write(self):
+        t = parse_march("⇕(w~c,r~c); ⇕(r~c,wc)", name="w-first")
+        report = validate_transparent(t)
+        assert any("precedes any read" in p for p in report.problems)
+
+    def test_valid_simple(self):
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc); ⇕(rc)", name="good")
+        assert validate_transparent(t).ok
+
+
+class TestDynamicCheck:
+    def test_transparent_test_passes(self):
+        t = twm_transform(catalog.get("March C-"), 8).twmarch
+        assert check_transparency_by_execution(t)
+
+    def test_non_restoring_test_fails(self):
+        t = parse_march("⇕(rc,w~c)", name="flips")
+        assert not check_transparency_by_execution(t)
+
+    def test_respects_dimensions(self):
+        t = twm_transform(catalog.get("March C-"), 4).twmarch
+        assert check_transparency_by_execution(t, n_words=3, width=4, trials=2)
