@@ -1,0 +1,105 @@
+"""Engine speedup benchmark: batch vs reference on a coverage campaign.
+
+Runs the E7 fault-coverage workload (TWMarch of March C-, the standard
+Section 2 fault universe) through both registered engines, checks the
+coverage vectors are bit-identical, and reports wall-clock, simulated
+march-operation throughput and the speedup ratio as JSON (printed and
+saved to ``benchmarks/out/engine_speedup.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py --words 16 --width 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import time
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.core.twm import twm_transform
+from repro.engine import compile_march
+from repro.library import catalog
+from repro.memory.injection import standard_fault_universe
+
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "engine_speedup.json"
+
+
+def measure(flow, universe, engine: str, repeats: int) -> tuple[float, dict]:
+    """Best-of-*repeats* wall-clock for one full campaign."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = run_campaign(flow, universe, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best, report.coverage_vector()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--test", default="March C-")
+    parser.add_argument("--words", type=int, default=4)
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--max-inter-pairs", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    twm = twm_transform(catalog.get(args.test), args.width)
+    program = compile_march(twm.twmarch, args.width)
+    universe = standard_fault_universe(
+        args.words,
+        args.width,
+        max_inter_pairs=args.max_inter_pairs,
+        rng=random.Random(0),
+    )
+    n_faults = sum(len(faults) for faults in universe.values())
+    # March operations an interpretive sweep must execute: every fault
+    # replays the whole test over the whole memory.
+    total_ops = n_faults * program.op_count * args.words
+    flow = compare_flow(
+        twm.twmarch, args.words, args.width, initial=None, seed=args.seed
+    )
+
+    results = {}
+    vectors = {}
+    for engine in ("reference", "batch"):
+        seconds, vector = measure(flow, universe, engine, args.repeats)
+        results[engine] = {
+            "seconds": round(seconds, 6),
+            "faults_per_sec": round(n_faults / seconds, 1),
+            "ops_per_sec": round(total_ops / seconds, 1),
+        }
+        vectors[engine] = vector
+
+    payload = {
+        "workload": f"TWMarch {args.test} coverage campaign",
+        "n_words": args.words,
+        "width": args.width,
+        "op_count_per_address": program.op_count,
+        "n_faults": n_faults,
+        "total_march_ops": total_ops,
+        "reference": results["reference"],
+        "batch": results["batch"],
+        "speedup": round(
+            results["reference"]["seconds"] / results["batch"]["seconds"], 2
+        ),
+        "vectors_identical": vectors["reference"] == vectors["batch"],
+    }
+
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    if not payload["vectors_identical"]:
+        print("ERROR: engines disagree on coverage")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ the non-transparent comparator checks absolute data (see
 EXPERIMENTS.md §E7 for the analysis).
 """
 
+import os
 import random
 
 from conftest import save_artifact
@@ -27,6 +28,10 @@ from repro.memory.injection import standard_fault_universe
 
 N_WORDS, WIDTH = 4, 8
 MAX_INTER_PAIRS = 24
+# Simulation backend: engines are equivalence-tested to produce
+# bit-identical coverage, so the reproduced numbers cannot depend on
+# this choice (CI runs the benchmark under both).
+ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "reference")
 
 
 def generate():
@@ -41,16 +46,19 @@ def generate():
         compare_flow(ref, N_WORDS, WIDTH, initial=0),
         universe,
         flow_name="SMarch+AMarch (non-transparent)",
+        engine=ENGINE,
     )
     rep_twm = run_campaign(
         compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=None, seed=11),
         universe,
         flow_name="TWMarch (transparent, random content)",
+        engine=ENGINE,
     )
     rep_twm_c0 = run_campaign(
         compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=0),
         universe,
         flow_name="TWMarch (transparent, c=0)",
+        engine=ENGINE,
     )
     return universe, rep_ref, rep_twm, rep_twm_c0
 

@@ -23,7 +23,7 @@ Quickstart::
     assert not outcome.detected and outcome.transparent
 """
 
-from . import analysis, baselines, bist, core, ecc, library, memory
+from . import analysis, baselines, bist, core, ecc, engine, library, memory
 from .analysis import (
     compare_flow,
     compare_reports,
@@ -67,6 +67,15 @@ from .core import (
     validate_transparent,
 )
 from .ecc import CodedMemory, HammingSEC, HammingSECDED, ParityCodec
+from .engine import (
+    BatchEngine,
+    Engine,
+    MarchProgram,
+    ReferenceEngine,
+    compile_march,
+    engine_names,
+    get_engine,
+)
 from .memory import (
     Cell,
     FaultyMemory,
@@ -83,15 +92,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AddressOrder",
+    "BatchEngine",
     "Cell",
     "CodedMemory",
     "DataExpr",
+    "Engine",
     "FaultyMemory",
     "HammingSEC",
     "HammingSECDED",
     "IdempotentCouplingFault",
     "InversionCouplingFault",
     "MarchElement",
+    "MarchProgram",
     "MarchTest",
     "Mask",
     "Memory",
@@ -100,6 +112,7 @@ __all__ = [
     "Op",
     "OpKind",
     "ParityCodec",
+    "ReferenceEngine",
     "StateCouplingFault",
     "StuckAtFault",
     "TomtBaseline",
@@ -113,8 +126,12 @@ __all__ = [
     "checkerboard",
     "compare_flow",
     "compare_reports",
+    "compile_march",
     "core",
     "ecc",
+    "engine",
+    "engine_names",
+    "get_engine",
     "headline_ratios",
     "intra_word_conditions",
     "library",

@@ -5,17 +5,27 @@ faulty memory, runs a detection procedure, and reports whether the
 fault was detected.  Campaigns sweep a fault universe (grouped by
 class) through a flow and tabulate per-class coverage — the instrument
 behind the paper's Section 5 coverage-equality theorem (benchmark E7).
+
+Campaigns can be executed through a pluggable simulation engine
+(``run_campaign(..., engine="batch")``): when the flow is a
+structure-carrying :class:`CompareFlow`, the whole per-class fault
+sweep is handed to :meth:`repro.engine.Engine.detect_batch`, which the
+vectorized batch backend evaluates word-parallel instead of
+op-by-op.  Every engine is equivalence-tested to produce bit-identical
+coverage vectors (see ``tests/test_engine.py``).
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..bist.controller import TransparentBist
 from ..bist.executor import run_march
 from ..core.march import MarchTest
+from ..engine import Engine, get_engine
 from ..memory.faults import Fault
 from ..memory.injection import FaultyMemory
 
@@ -42,6 +52,20 @@ class ClassCoverage:
         return f"{self.name}: {self.detected}/{self.total} ({self.percent:.2f}%)"
 
 
+@dataclass(frozen=True)
+class ClassStats:
+    """Execution statistics for one fault class of a campaign."""
+
+    name: str
+    total: int
+    seconds: float
+    engine: str
+
+    @property
+    def faults_per_second(self) -> float:
+        return self.total / self.seconds if self.seconds > 0 else float("inf")
+
+
 @dataclass
 class CampaignReport:
     """Per-class coverage of one campaign."""
@@ -49,6 +73,8 @@ class CampaignReport:
     flow_name: str
     classes: dict[str, ClassCoverage] = field(default_factory=dict)
     undetected: dict[str, list[Fault]] = field(default_factory=dict)
+    stats: dict[str, ClassStats] = field(default_factory=dict)
+    engine: str | None = None
 
     @property
     def total(self) -> int:
@@ -61,6 +87,10 @@ class CampaignReport:
     @property
     def percent(self) -> float:
         return 100.0 * self.detected / self.total if self.total else 100.0
+
+    @property
+    def seconds(self) -> float:
+        return sum(s.seconds for s in self.stats.values())
 
     def coverage_vector(self) -> dict[str, float]:
         return {name: c.percent for name, c in self.classes.items()}
@@ -75,28 +105,67 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+ProgressCallback = Callable[[ClassCoverage, ClassStats], None]
+
+
 def run_campaign(
     flow: Flow,
     universe: dict[str, Sequence[Fault]],
     *,
     flow_name: str = "flow",
     keep_undetected: int = 16,
+    engine: str | Engine | None = None,
+    progress: ProgressCallback | None = None,
 ) -> CampaignReport:
-    """Simulate every fault in *universe* through *flow*."""
-    report = CampaignReport(flow_name)
+    """Simulate every fault in *universe* through *flow*.
+
+    With ``engine`` set and a :class:`CompareFlow` flow, each class is
+    evaluated through :meth:`Engine.detect_batch` (the ``"batch"``
+    engine vectorizes this); any other flow falls back to per-fault
+    calls regardless of the engine.  ``progress`` receives the
+    per-class coverage and timing as soon as each class completes, so
+    long campaigns expose early statistics instead of a single final
+    report.
+    """
+    eng = get_engine(engine) if engine is not None else None
+    batchable = eng is not None and isinstance(flow, CompareFlow)
+    # Attribute stats to the backend that actually ran: a bare callable
+    # cannot be batched, so the engine is bypassed entirely.
+    engine_label = eng.name if batchable else "flow"
+    report = CampaignReport(flow_name, engine=eng.name if batchable else None)
     for class_name, faults in universe.items():
+        started = time.perf_counter()
+        if batchable:
+            verdicts = eng.detect_batch(
+                flow.test,
+                flow.n_words,
+                flow.width,
+                flow.words,
+                faults,
+                derive_writes=flow.derive_writes,
+            )
+        else:
+            verdicts = [flow(fault) for fault in faults]
         detected = 0
         missed: list[Fault] = []
-        for fault in faults:
-            if flow(fault):
+        for fault, hit in zip(faults, verdicts):
+            if hit:
                 detected += 1
             elif len(missed) < keep_undetected:
                 missed.append(fault)
-        report.classes[class_name] = ClassCoverage(
-            class_name, len(faults), detected
+        coverage = ClassCoverage(class_name, len(faults), detected)
+        stats = ClassStats(
+            class_name,
+            len(faults),
+            time.perf_counter() - started,
+            engine_label,
         )
+        report.classes[class_name] = coverage
+        report.stats[class_name] = stats
         if missed:
             report.undetected[class_name] = missed
+        if progress is not None:
+            progress(coverage, stats)
     return report
 
 
@@ -108,12 +177,49 @@ def run_campaign(
 def _initial_words(
     n_words: int, width: int, initial: Sequence[int] | int | None, seed: int
 ) -> list[int]:
+    mask = (1 << width) - 1
     if initial is None:
         rng = random.Random(seed)
         return [rng.randrange(1 << width) for _ in range(n_words)]
     if isinstance(initial, int):
-        return [initial & ((1 << width) - 1)] * n_words
-    return list(initial)
+        return [initial & mask] * n_words
+    return [word & mask for word in initial]
+
+
+class CompareFlow:
+    """Alias-free compare-oracle flow with inspectable structure.
+
+    Calling it with a fault behaves like the classic closure (fresh
+    faulty memory, ``stop_on_mismatch`` march run); the exposed
+    ``test`` / ``n_words`` / ``width`` / ``words`` / ``derive_writes``
+    attributes let :func:`run_campaign` hand whole fault classes to an
+    engine's batch path instead.
+    """
+
+    def __init__(
+        self,
+        test: MarchTest,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        derive_writes: bool = True,
+    ) -> None:
+        self.test = test
+        self.n_words = n_words
+        self.width = width
+        self.words = list(words)
+        self.derive_writes = derive_writes
+
+    def __call__(self, fault: Fault) -> bool:
+        memory = FaultyMemory(self.n_words, self.width, [fault])
+        memory.load(self.words)
+        result = run_march(
+            self.test,
+            memory,
+            stop_on_mismatch=True,
+            derive_writes=self.derive_writes,
+        )
+        return result.detected
 
 
 def compare_flow(
@@ -124,7 +230,7 @@ def compare_flow(
     initial: Sequence[int] | int | None = None,
     seed: int = 0,
     derive_writes: bool = True,
-) -> Flow:
+) -> CompareFlow:
     """Alias-free detection: any read differing from the fault-free
     value counts as detection.
 
@@ -134,19 +240,7 @@ def compare_flow(
     *after* injection, exactly what a transparent BIST observes.
     """
     words = _initial_words(n_words, width, initial, seed)
-
-    def flow(fault: Fault) -> bool:
-        memory = FaultyMemory(n_words, width, [fault])
-        memory.load(words)
-        result = run_march(
-            test,
-            memory,
-            stop_on_mismatch=True,
-            derive_writes=derive_writes,
-        )
-        return result.detected
-
-    return flow
+    return CompareFlow(test, n_words, width, words, derive_writes)
 
 
 def signature_flow(
@@ -158,11 +252,14 @@ def signature_flow(
     misr_width: int = 16,
     initial: Sequence[int] | int | None = None,
     seed: int = 0,
+    engine: str | Engine | None = None,
 ) -> Flow:
     """Realistic two-phase transparent BIST detection (MISR compare,
     aliasing possible)."""
     words = _initial_words(n_words, width, initial, seed)
-    controller = TransparentBist(test, prediction, misr_width=misr_width)
+    controller = TransparentBist(
+        test, prediction, misr_width=misr_width, engine=engine
+    )
 
     def flow(fault: Fault) -> bool:
         memory = FaultyMemory(n_words, width, [fault])
@@ -181,11 +278,14 @@ def aliasing_flow(
     misr_width: int = 16,
     initial: Sequence[int] | int | None = None,
     seed: int = 0,
+    engine: str | Engine | None = None,
 ) -> Callable[[Fault], tuple[bool, bool]]:
     """Like :func:`signature_flow` but returns ``(stream, signature)``
     detection flags so aliasing events can be counted."""
     words = _initial_words(n_words, width, initial, seed)
-    controller = TransparentBist(test, prediction, misr_width=misr_width)
+    controller = TransparentBist(
+        test, prediction, misr_width=misr_width, engine=engine
+    )
 
     def flow(fault: Fault) -> tuple[bool, bool]:
         memory = FaultyMemory(n_words, width, [fault])

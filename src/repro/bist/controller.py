@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from ..core.march import MarchTest
 from ..core.signature import prediction_test
 from ..core.twm import TWMResult
+from ..engine import Engine, compile_march, get_engine
 from ..memory.model import Memory, words_equal
-from .executor import run_march
 from .misr import Misr
 
 
@@ -61,6 +61,7 @@ class TransparentBist:
         *,
         misr_width: int = 16,
         misr_seed: int = 0,
+        engine: str | Engine | None = None,
     ) -> None:
         if not test.is_transparent_form:
             raise ValueError(
@@ -73,6 +74,7 @@ class TransparentBist:
         )
         self.misr_width = misr_width
         self.misr_seed = misr_seed
+        self.engine = get_engine(engine)
 
     @classmethod
     def from_twm(cls, result: TWMResult, **kwargs) -> "TransparentBist":
@@ -80,20 +82,28 @@ class TransparentBist:
         return cls(result.twmarch, result.prediction, **kwargs)
 
     def run(self, memory: Memory) -> BistOutcome:
-        """Run prediction then test on *memory* and compare signatures."""
+        """Run prediction then test on *memory* and compare signatures.
+
+        Both phases execute through the configured engine; the MISRs are
+        fed from the engine's read stream (prediction reads are
+        XOR-corrected with the operation mask by the BIST datapath
+        before absorption).
+        """
         snapshot = memory.snapshot()
+        prediction = compile_march(self.prediction, memory.width)
+        test = compile_march(self.test, memory.width)
 
         predict_misr = Misr(self.misr_width, self.misr_seed)
-        predict_run = run_march(
-            self.prediction,
+        predict_run = self.engine.run(
+            prediction,
             memory,
             snapshot=snapshot,
             read_sink=lambda rec: predict_misr.absorb(rec.raw ^ rec.mask_value),
         )
 
         test_misr = Misr(self.misr_width, self.misr_seed)
-        test_run = run_march(
-            self.test,
+        test_run = self.engine.run(
+            test,
             memory,
             snapshot=snapshot,
             read_sink=lambda rec: test_misr.absorb(rec.raw),

@@ -1,4 +1,4 @@
-"""March-test execution against a memory model.
+"""March-test execution against a memory model (engine facade).
 
 The executor implements *operational* transparent semantics: the data of
 a content-relative write is computed from the most recent read of the
@@ -7,6 +7,15 @@ as the BIST hardware's XOR network derives write-back data from read
 data.  On a faulty memory this faithfully propagates wrong read data
 into subsequent writes — a first-order effect of transparent testing
 that expected-value shortcuts would miss.
+
+Since the engine refactor the actual execution lives in
+:mod:`repro.engine`: a :class:`~repro.core.march.MarchTest` is lowered
+once to a compiled :class:`~repro.engine.program.MarchProgram` and run
+by a pluggable backend.  :func:`run_march` keeps the historical
+interface and delegates to the registry (``engine="reference"`` by
+default); campaign-scale batch evaluation lives in
+:meth:`repro.engine.Engine.detect_batch` and
+:func:`repro.analysis.coverage.run_campaign`.
 
 Detection oracles:
 
@@ -21,51 +30,28 @@ Detection oracles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..core.march import MarchTest
-from ..core.ops import Op
+from ..engine import (
+    Engine,
+    ExecutionError,
+    ReadRecord,
+    ReadSink,
+    RunResult,
+    get_engine,
+)
 from ..memory.model import Memory
 
-
-class ExecutionError(RuntimeError):
-    """Raised when a test is not executable on the given memory."""
-
-
-@dataclass(frozen=True)
-class ReadRecord:
-    """One read observation during a march run."""
-
-    op_index: int
-    element_index: int
-    addr: int
-    raw: int
-    expected: int
-    mask_value: int
-
-    @property
-    def mismatch(self) -> bool:
-        return self.raw != self.expected
-
-
-@dataclass
-class RunResult:
-    """Outcome of executing a march test."""
-
-    ops_executed: int = 0
-    n_reads: int = 0
-    n_mismatches: int = 0
-    records: list[ReadRecord] = field(default_factory=list)
-    stopped_early: bool = False
-
-    @property
-    def detected(self) -> bool:
-        """True when at least one read disagreed with the fault-free value."""
-        return self.n_mismatches > 0
-
-
-ReadSink = Callable[[ReadRecord], None]
+__all__ = [
+    "ExecutionError",
+    "ReadRecord",
+    "ReadSink",
+    "RunResult",
+    "read_stream",
+    "run_march",
+    "transparent_writes_derivable",
+]
 
 
 def run_march(
@@ -77,6 +63,7 @@ def run_march(
     stop_on_mismatch: bool = False,
     read_sink: ReadSink | None = None,
     derive_writes: bool = True,
+    engine: str | Engine | None = None,
 ) -> RunResult:
     """Execute *test* on *memory*.
 
@@ -95,64 +82,19 @@ def run_march(
     transparent run the exact XOR image of the corresponding
     non-transparent run, which the Section 5 coverage-equality
     experiment relies on.
+
+    ``engine`` selects the simulation backend by name or instance
+    (default: the reference interpreter).
     """
-    width = memory.width
-    initial = list(snapshot) if snapshot is not None else memory.snapshot()
-    if len(initial) != memory.n_words:
-        raise ExecutionError("snapshot length does not match memory size")
-
-    result = RunResult()
-    op_index = 0
-    for element_index, element in enumerate(test.elements):
-        resolved = [
-            (op, op.data.mask.resolve(width)) for op in element.ops
-        ]
-        for addr in element.order.addresses(memory.n_words):
-            last_raw: int | None = None
-            last_mask: int | None = None
-            for op, mask_value in resolved:
-                if op.is_read:
-                    raw = memory.read(addr)
-                    expected = _expected(op, mask_value, initial[addr])
-                    record = ReadRecord(
-                        op_index, element_index, addr, raw, expected, mask_value
-                    )
-                    result.n_reads += 1
-                    if record.mismatch:
-                        result.n_mismatches += 1
-                    if collect:
-                        result.records.append(record)
-                    if read_sink is not None:
-                        read_sink(record)
-                    last_raw, last_mask = raw, mask_value
-                    result.ops_executed += 1
-                    if record.mismatch and stop_on_mismatch:
-                        result.stopped_early = True
-                        return result
-                else:
-                    if op.is_relative and derive_writes:
-                        if last_raw is None or last_mask is None:
-                            raise ExecutionError(
-                                f"{test.name}: transparent write {op} at element "
-                                f"{element_index} has no preceding read in its "
-                                "element-visit; the BIST datapath cannot derive "
-                                "its data"
-                            )
-                        value = last_raw ^ last_mask ^ mask_value
-                    elif op.is_relative:
-                        value = initial[addr] ^ mask_value
-                    else:
-                        value = mask_value
-                    memory.write(addr, value)
-                    result.ops_executed += 1
-                op_index += 1
-    return result
-
-
-def _expected(op: Op, mask_value: int, initial_word: int) -> int:
-    if op.is_relative:
-        return initial_word ^ mask_value
-    return mask_value
+    return get_engine(engine).run(
+        test,
+        memory,
+        snapshot=snapshot,
+        collect=collect,
+        stop_on_mismatch=stop_on_mismatch,
+        read_sink=read_sink,
+        derive_writes=derive_writes,
+    )
 
 
 def transparent_writes_derivable(test: MarchTest) -> bool:
@@ -174,7 +116,11 @@ def transparent_writes_derivable(test: MarchTest) -> bool:
 
 
 def read_stream(
-    test: MarchTest, memory: Memory, *, snapshot: Sequence[int] | None = None
+    test: MarchTest,
+    memory: Memory,
+    *,
+    snapshot: Sequence[int] | None = None,
+    engine: str | Engine | None = None,
 ) -> list[int]:
     """The raw read-data stream of executing *test* on *memory*."""
     stream: list[int] = []
@@ -183,5 +129,6 @@ def read_stream(
         memory,
         snapshot=snapshot,
         read_sink=lambda rec: stream.append(rec.raw),
+        engine=engine,
     )
     return stream

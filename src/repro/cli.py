@@ -11,8 +11,9 @@ Commands
     Run TWM_TA (or the Scheme 1 baseline) and print all artifacts.
 ``complexity [--widths 16,32,64,128] [--tests "March C-,March U"]``
     Regenerate the Table 3 word-size sweep.
-``coverage NAME --width B [--words N] [--seed S]``
-    Fault-simulate the transformed test over the standard universe.
+``coverage NAME --width B [--words N] [--seed S] [--engine E]``
+    Fault-simulate the transformed test over the standard universe,
+    optionally through the vectorized batch engine.
 ``validate NOTATION``
     Parse and validate a March test given in textual notation.
 """
@@ -30,6 +31,7 @@ from .core.complexity import table3_rows
 from .core.notation import NotationError, format_march, parse_march
 from .core.twm import twm_transform
 from .core.validate import validate_solid, validate_transparent
+from .engine import engine_names
 from .library import catalog
 from .memory.injection import standard_fault_universe
 
@@ -124,8 +126,14 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     flow = compare_flow(
         result.twmarch, args.words, args.width, initial=None, seed=args.seed
     )
-    report = run_campaign(flow, universe, flow_name=f"TWMarch {args.name}")
+    report = run_campaign(
+        flow, universe, flow_name=f"TWMarch {args.name}", engine=args.engine
+    )
     print(report.render())
+    print(
+        f"  engine: {args.engine} "
+        f"({report.total} faults in {report.seconds:.3f}s)"
+    )
     return 0
 
 
@@ -185,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--words", type=int, default=4)
     coverage.add_argument("--seed", type=int, default=0)
     coverage.add_argument("--max-inter-pairs", type=int, default=16)
+    coverage.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default="reference",
+        help="simulation backend (batch = vectorized campaign engine)",
+    )
 
     validate = sub.add_parser("validate", help="check a notation string")
     validate.add_argument("notation")

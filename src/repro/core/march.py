@@ -71,6 +71,18 @@ class MarchTest:
         """Human-readable per-memory complexity, e.g. ``"10n"``."""
         return f"{self.op_count}n"
 
+    def compiled(self, width: int):
+        """Lower this test to an executable march program at *width*.
+
+        Convenience for :func:`repro.engine.compile_march` (imported
+        lazily — the engine package depends on :mod:`repro.core`, not
+        the other way around); the result is cached per
+        ``(test, width)``.
+        """
+        from ..engine import compile_march
+
+        return compile_march(self, width)
+
     # -- structure -----------------------------------------------------
     def same_structure(self, other: "MarchTest") -> bool:
         """Structural equality ignoring names and notes."""

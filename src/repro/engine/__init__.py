@@ -1,0 +1,59 @@
+"""Pluggable fault-simulation engines over a compiled march-program IR.
+
+Layers (see ``README.md`` in this directory):
+
+* :mod:`repro.engine.program` — the compiler: lower a symbolic
+  :class:`~repro.core.march.MarchTest` into an immutable
+  :class:`MarchProgram` (resolved masks, address-order descriptors,
+  derived-write data-flow links), cached per ``(test, width)``;
+* :mod:`repro.engine.base` — run artifacts (:class:`RunResult`,
+  :class:`ReadRecord`), the :class:`Engine` interface and the backend
+  registry;
+* :mod:`repro.engine.reference` — exact op-by-op interpretation, the
+  semantic baseline;
+* :mod:`repro.engine.batch` — word-parallel campaign evaluation
+  (bit-plane passes for single-cell faults, two-word subset simulation
+  for coupling faults, reference fallback otherwise).
+
+Select a backend by name wherever an ``engine=`` parameter is accepted
+(``run_campaign``, ``TransparentBist``, the ``coverage`` CLI command)::
+
+    from repro.engine import get_engine
+
+    engine = get_engine("batch")
+    verdicts = engine.detect_batch(test, n_words, width, words, faults)
+"""
+
+from .base import (
+    DEFAULT_ENGINE,
+    Engine,
+    ExecutionError,
+    ReadRecord,
+    ReadSink,
+    RunResult,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+from .batch import BatchEngine
+from .program import MarchProgram, ProgramElement, ProgramOp, compile_march
+from .reference import ReferenceEngine, execute_program
+
+__all__ = [
+    "BatchEngine",
+    "DEFAULT_ENGINE",
+    "Engine",
+    "ExecutionError",
+    "MarchProgram",
+    "ProgramElement",
+    "ProgramOp",
+    "ReadRecord",
+    "ReadSink",
+    "ReferenceEngine",
+    "RunResult",
+    "compile_march",
+    "engine_names",
+    "execute_program",
+    "get_engine",
+    "register_engine",
+]

@@ -1,0 +1,173 @@
+"""Engine abstraction: run artifacts, the backend interface, registry.
+
+A *fault-simulation engine* executes compiled :class:`~repro.engine.program.MarchProgram`
+IR against a memory model.  Every engine must reproduce the operational
+semantics of the original interpreter bit-for-bit (see
+``src/repro/engine/README.md`` for the exactness contract); engines are
+free to take shortcuts only where the shortcut is provably equivalent.
+
+Two run granularities exist:
+
+* :meth:`Engine.run` — one march execution on one memory, producing a
+  full :class:`RunResult` (read records, MISR sinks, early stop);
+* :meth:`Engine.detect_batch` — a whole single-fault campaign slice:
+  given the shared initial content and a list of faults, return the
+  per-fault detection verdicts of the alias-free compare oracle.  The
+  base implementation loops :meth:`Engine.run`; vectorized backends
+  override it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.march import MarchTest
+    from ..memory.faults import Fault
+    from ..memory.model import Memory
+    from .program import MarchProgram
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a test is not executable on the given memory."""
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One read observation during a march run."""
+
+    op_index: int
+    element_index: int
+    addr: int
+    raw: int
+    expected: int
+    mask_value: int
+
+    @property
+    def mismatch(self) -> bool:
+        return self.raw != self.expected
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a march test."""
+
+    ops_executed: int = 0
+    n_reads: int = 0
+    n_mismatches: int = 0
+    records: list[ReadRecord] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def detected(self) -> bool:
+        """True when at least one read disagreed with the fault-free value."""
+        return self.n_mismatches > 0
+
+
+ReadSink = Callable[[ReadRecord], None]
+
+
+class Engine:
+    """A fault-simulation backend over compiled march programs."""
+
+    name: str = "base"
+
+    def run(
+        self,
+        test: "MarchTest | MarchProgram",
+        memory: "Memory",
+        *,
+        snapshot: Sequence[int] | None = None,
+        collect: bool = False,
+        stop_on_mismatch: bool = False,
+        read_sink: ReadSink | None = None,
+        derive_writes: bool = True,
+    ) -> RunResult:
+        """Execute *test* on *memory* (semantics of the classic
+        ``run_march``; see :func:`repro.bist.executor.run_march`)."""
+        raise NotImplementedError
+
+    def detect_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        derive_writes: bool = True,
+    ) -> list[bool]:
+        """Compare-oracle detection verdict for every fault in *faults*.
+
+        Each fault is simulated alone on a fresh memory loaded with
+        *words* (the campaign's shared initial content); the verdict is
+        ``RunResult.detected`` of a ``stop_on_mismatch`` run.
+        """
+        from ..memory.injection import FaultyMemory
+
+        program = self._program(test, width)
+        out = []
+        for fault in faults:
+            memory = FaultyMemory(n_words, width, [fault])
+            memory.load(words)
+            out.append(
+                self.run(
+                    program,
+                    memory,
+                    stop_on_mismatch=True,
+                    derive_writes=derive_writes,
+                ).detected
+            )
+        return out
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _program(test: "MarchTest | MarchProgram", width: int) -> "MarchProgram":
+        from .program import MarchProgram, compile_march
+
+        if isinstance(test, MarchProgram):
+            if test.width != width:
+                raise ExecutionError(
+                    f"program {test.name} compiled for width {test.width}, "
+                    f"memory width is {width}"
+                )
+            return test
+        return compile_march(test, width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Engine] = {}
+
+DEFAULT_ENGINE = "reference"
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Register *engine* under its ``name`` (last registration wins)."""
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def engine_names() -> tuple[str, ...]:
+    """Names of all registered engines."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_engine(spec: "str | Engine | None" = None) -> Engine:
+    """Resolve an engine: an instance passes through, a name looks up
+    the registry, ``None`` yields the default (reference) engine."""
+    if isinstance(spec, Engine):
+        return spec
+    name = DEFAULT_ENGINE if spec is None else spec
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered: {', '.join(engine_names())}"
+        ) from None

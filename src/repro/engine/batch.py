@@ -1,0 +1,354 @@
+"""Batch engine: word-parallel single-fault campaign evaluation.
+
+The campaign cost model of the interpretive path is
+``n_faults x op_count x n_words`` memory operations, each a Python-level
+``Memory.read``/``Memory.write`` with fault-list scans.  This backend
+exploits two structural facts of the compare-oracle campaign
+(one fault per run, shared initial content):
+
+* **Fault confinement** — every classic fault involves one or two word
+  addresses; reads anywhere else return fault-free data.  The fault-free
+  mismatch behaviour is precomputed *once* per (program, content) as a
+  packed bit-plane (the reused fault-free read stream), so each fault
+  only needs its own cells evaluated.
+
+* **Bit-plane parallelism** — word operations are bitwise, so the state
+  of cell ``(addr, bit)`` under a single-cell fault hypothesis *at that
+  cell* evolves independently of every other bit.  Packing all
+  ``n_words * width`` hypotheses into one big Python integer evaluates
+  an entire fault class (all SAFs, all TFs of one direction, all RDFs of
+  one flavour) in a single O(op_count) pass of big-int arithmetic.
+
+Per fault class:
+
+``SAF``
+    closed form: the stuck cell always reads back its forced value and
+    the reference snapshot already contains it, so a relative read
+    mismatches iff its mask selects the bit, an absolute read iff its
+    mask disagrees with the stuck value.  Two width-bit OR-accumulators
+    answer the whole class.
+``TF`` / ``RDF`` / ``DRDF``
+    one packed-plane pass per variant (rising/falling, plain/deceptive).
+``CFst`` / ``CFid`` / ``CFin``
+    exact two-word (one-word when intra-word) subset simulation —
+    O(op_count) per fault instead of O(op_count x n_words).
+``AF`` and anything unrecognised
+    full-fidelity fallback through the reference interpreter.
+
+Single executions (:meth:`BatchEngine.run`) use the reference
+interpreter unchanged: the batch acceleration is campaign-level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..memory.faults import (
+    CouplingFault,
+    Fault,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from .base import Engine, ExecutionError, ReadSink, RunResult, register_engine
+from .program import MarchProgram, pack_words, replicate_mask
+from .reference import execute_program
+
+
+class BatchEngine(Engine):
+    """Vectorized campaign backend over the compiled IR."""
+
+    name = "batch"
+
+    def run(
+        self,
+        test,
+        memory,
+        *,
+        snapshot: Sequence[int] | None = None,
+        collect: bool = False,
+        stop_on_mismatch: bool = False,
+        read_sink: ReadSink | None = None,
+        derive_writes: bool = True,
+    ) -> RunResult:
+        program = self._program(test, memory.width)
+        return execute_program(
+            program,
+            memory,
+            snapshot=snapshot,
+            collect=collect,
+            stop_on_mismatch=stop_on_mismatch,
+            read_sink=read_sink,
+            derive_writes=derive_writes,
+        )
+
+    def detect_batch(
+        self,
+        test,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: Sequence[Fault],
+        *,
+        derive_writes: bool = True,
+    ) -> list[bool]:
+        program = self._program(test, width)
+        if derive_writes and not program.derivable:
+            # An underivable program may still detect (or raise) fault
+            # by fault, depending on whether a mismatch stops the run
+            # before the first underivable write executes; only the
+            # interpreter reproduces that exactly.
+            return super().detect_batch(
+                program, n_words, width, words, faults,
+                derive_writes=derive_writes,
+            )
+        ctx = _CampaignContext(program, n_words, words, derive_writes)
+        return [ctx.detect(fault) for fault in faults]
+
+
+class _CampaignContext:
+    """Shared per-(program, content) state of one campaign slice.
+
+    Planes are computed lazily, at most once each, and reused for every
+    fault of the matching class.
+    """
+
+    def __init__(
+        self,
+        program: MarchProgram,
+        n_words: int,
+        words: Sequence[int],
+        derive_writes: bool,
+    ) -> None:
+        if len(words) != n_words:
+            raise ExecutionError("initial content length does not match memory size")
+        self.program = program
+        self.n_words = n_words
+        self.width = program.width
+        self.words = [w & program.word_mask for w in words]
+        self.derive = derive_writes
+        self._packed = pack_words(self.words, self.width)
+        self._full = (1 << (n_words * self.width)) - 1
+        self._rep: list[list[int]] | None = None
+        self._baseline: int | None = None
+        self._saf: tuple[int, int] | None = None
+        self._tf: dict[bool, int] = {}
+        self._rdf: dict[bool, int] = {}
+
+    # -- dispatch ------------------------------------------------------
+    def detect(self, fault: Fault) -> bool:
+        fault.validate(self.n_words, self.width)
+        if isinstance(fault, StuckAtFault):
+            plane = self._saf_planes()[fault.value]
+            if (plane >> fault.cell.bit) & 1:
+                return True
+            return self._baseline_outside_cell(fault.cell)
+        if isinstance(fault, TransitionFault):
+            plane = self._tf_plane(fault.rising)
+            if (plane >> self._pos(fault.cell)) & 1:
+                return True
+            return self._baseline_outside_cell(fault.cell)
+        if isinstance(fault, ReadDisturbFault):
+            plane = self._rdf_plane(fault.deceptive)
+            if (plane >> self._pos(fault.cell)) & 1:
+                return True
+            return self._baseline_outside_cell(fault.cell)
+        if isinstance(fault, CouplingFault):
+            if self._coupling(fault):
+                return True
+            return self._baseline_outside_addrs(
+                {fault.aggressor.addr, fault.victim.addr}
+            )
+        return self._fallback(fault)
+
+    def _pos(self, cell) -> int:
+        return cell.addr * self.width + cell.bit
+
+    # -- fault-free baseline -------------------------------------------
+    def _baseline_plane(self) -> int:
+        """Packed mismatch plane of the fault-free run: bit
+        ``addr*width + bit`` is set iff the fault-free execution already
+        disagrees with the snapshot-derived expected value there.  Zero
+        for every well-formed march test; non-zero planes keep
+        ill-formed tests bit-identical with the interpreter."""
+        if self._baseline is None:
+            self._baseline = self._packed_run(None, False)
+        return self._baseline
+
+    def _baseline_outside_cell(self, cell) -> bool:
+        return bool(self._baseline_plane() & ~(1 << self._pos(cell)))
+
+    def _baseline_outside_addrs(self, addrs) -> bool:
+        outside = self._baseline_plane()
+        for addr in addrs:
+            outside &= ~(self.program.word_mask << (addr * self.width))
+        return bool(outside)
+
+    # -- packed bit-plane passes ---------------------------------------
+    def _replicated(self) -> list[list[int]]:
+        if self._rep is None:
+            n, w = self.n_words, self.width
+            self._rep = [
+                [replicate_mask(mask, n, w) for _, _, mask, _ in element.steps]
+                for element in self.program.elements
+            ]
+        return self._rep
+
+    def _packed_run(self, kind: str | None, variant: bool) -> int:
+        """One word-parallel pass over the program.
+
+        ``kind`` selects the per-column fault hypothesis: ``None`` is
+        the fault-free baseline, ``"TF"`` a transition fault at every
+        column (``variant`` = rising), ``"RDF"`` a read-disturb fault at
+        every column (``variant`` = deceptive).  Returns the accumulated
+        mismatch plane for the hypothesised cell itself.
+        """
+        snap = self._packed
+        full = self._full
+        state = snap
+        det = 0
+        derive = self.derive
+        is_tf = kind == "TF"
+        is_rdf = kind == "RDF"
+        for element, rep_masks in zip(self.program.elements, self._replicated()):
+            last_raw = 0
+            last_mask = 0
+            for (is_read, relative, _mask, _ok), mrep in zip(
+                element.steps, rep_masks
+            ):
+                if is_read:
+                    if is_rdf:
+                        raw = state if variant else state ^ full
+                        state ^= full
+                    else:
+                        raw = state
+                    det |= raw ^ ((snap ^ mrep) if relative else mrep)
+                    last_raw, last_mask = raw, mrep
+                else:
+                    if relative and derive:
+                        value = last_raw ^ last_mask ^ mrep
+                    elif relative:
+                        value = snap ^ mrep
+                    else:
+                        value = mrep
+                    if is_tf:
+                        state = (state & value) if variant else (state | value)
+                    else:
+                        state = value
+        return det
+
+    def _tf_plane(self, rising: bool) -> int:
+        if rising not in self._tf:
+            self._tf[rising] = self._packed_run("TF", rising)
+        return self._tf[rising]
+
+    def _rdf_plane(self, deceptive: bool) -> int:
+        if deceptive not in self._rdf:
+            self._rdf[deceptive] = self._packed_run("RDF", deceptive)
+        return self._rdf[deceptive]
+
+    def _saf_planes(self) -> tuple[int, int]:
+        """``(detects_saf0, detects_saf1)`` width-bit accumulators.
+
+        The stuck cell reads back its forced value and the reference
+        snapshot (taken after static enforcement) already holds it, so
+        relative reads mismatch exactly where their mask selects the
+        bit, absolute reads exactly where their mask disagrees with the
+        stuck value — independent of address and initial content.
+        """
+        if self._saf is None:
+            det0 = det1 = 0
+            wm = self.program.word_mask
+            for element in self.program.elements:
+                for is_read, relative, mask, _ok in element.steps:
+                    if not is_read:
+                        continue
+                    if relative:
+                        det0 |= mask
+                        det1 |= mask
+                    else:
+                        det0 |= mask
+                        det1 |= ~mask & wm
+            self._saf = (det0, det1)
+        return self._saf
+
+    # -- coupling-fault subset simulation ------------------------------
+    def _coupling(self, fault: CouplingFault) -> bool:
+        """Exact simulation restricted to the aggressor/victim words,
+        mirroring ``FaultyMemory`` semantics: continuous CFst forcing
+        re-established after every store, CFid/CFin triggered by
+        aggressor transitions of stores to the aggressor's word."""
+        aggr, vict = fault.aggressor, fault.victim
+        addrs = sorted({aggr.addr, vict.addr})
+        w = {a: self.words[a] for a in addrs}
+        v_clear = ~(1 << vict.bit)
+        v_set = 1 << vict.bit
+        is_cfst = isinstance(fault, StateCouplingFault)
+        is_cfid = isinstance(fault, IdempotentCouplingFault)
+        is_cfin = isinstance(fault, InversionCouplingFault)
+
+        def enforce() -> None:
+            if is_cfst and ((w[aggr.addr] >> aggr.bit) & 1) == fault.aggressor_value:
+                w[vict.addr] = (w[vict.addr] & v_clear) | (
+                    fault.forced_value << vict.bit
+                )
+
+        enforce()  # the loaded content already expresses the defect
+        snap = dict(w)
+        derive = self.derive
+        descending_addrs = addrs[::-1]
+
+        for element in self.program.elements:
+            ordered = descending_addrs if element.descending else addrs
+            for addr in ordered:
+                last_raw = 0
+                last_mask = 0
+                snap_word = snap[addr]
+                for is_read, relative, mask, _ok in element.steps:
+                    if is_read:
+                        raw = w[addr]
+                        if raw != ((snap_word ^ mask) if relative else mask):
+                            return True
+                        last_raw, last_mask = raw, mask
+                    else:
+                        if relative and derive:
+                            value = last_raw ^ last_mask ^ mask
+                        elif relative:
+                            value = snap_word ^ mask
+                        else:
+                            value = mask
+                        old = w[addr]
+                        w[addr] = value
+                        if (is_cfid or is_cfin) and addr == aggr.addr:
+                            a_old = (old >> aggr.bit) & 1
+                            a_new = (value >> aggr.bit) & 1
+                            if a_old != a_new and (a_new == 1) == fault.rising:
+                                if is_cfid:
+                                    w[vict.addr] = (w[vict.addr] & v_clear) | (
+                                        fault.forced_value << vict.bit
+                                    )
+                                else:
+                                    w[vict.addr] ^= v_set
+                        enforce()
+        return False
+
+    # -- fallback ------------------------------------------------------
+    def _fallback(self, fault: Fault) -> bool:
+        """Full-fidelity interpretation for fault kinds without a fast
+        path (address-decoder faults, user-defined models)."""
+        from ..memory.injection import FaultyMemory
+
+        memory = FaultyMemory(self.n_words, self.width, [fault])
+        memory.load(self.words)
+        return execute_program(
+            self.program,
+            memory,
+            stop_on_mismatch=True,
+            derive_writes=self.derive,
+        ).detected
+
+
+register_engine(BatchEngine())

@@ -1,0 +1,185 @@
+"""Compiled march-program IR.
+
+A :class:`~repro.core.march.MarchTest` is symbolic: data expressions are
+width-polymorphic masks, address orders are abstract, and derived-write
+data flow is implicit in element structure.  Compiling against a word
+width lowers all of that once, so engines never touch :class:`Mask`
+resolution or :class:`Op` dispatch in their inner loops:
+
+* every mask is resolved to a concrete integer;
+* every address order becomes an ascending/descending descriptor;
+* every content-relative write is linked to the read that feeds its
+  XOR-derived data (the BIST datapath's data-flow edge), or flagged as
+  underivable so engines can fail exactly like the interpreter.
+
+Programs are immutable and cached per ``(test, width)`` — a campaign
+re-running the same test over a million faults compiles once.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.element import AddressOrder
+from ..core.march import MarchTest
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    """One lowered march operation.
+
+    ``mask`` is the data mask resolved at the program's width.  For a
+    read, the expected fault-free value is ``snapshot[addr] ^ mask``
+    when ``relative`` else ``mask``.  For a write, the stored value is
+    ``mask`` (absolute), ``snapshot[addr] ^ mask`` (relative, oracle
+    datapath) or ``last_read_raw ^ last_read_mask ^ mask`` (relative,
+    operational derived datapath).  ``derive_from`` is the data-flow
+    link of that last case: the index *within the element* of the most
+    recent preceding read, or ``None`` when no read precedes (executing
+    such a write with derived semantics is an :class:`ExecutionError`).
+    """
+
+    index: int
+    is_read: bool
+    relative: bool
+    mask: int
+    derive_from: int | None
+    label: str
+
+    @property
+    def is_write(self) -> bool:
+        return not self.is_read
+
+
+@dataclass(frozen=True)
+class ProgramElement:
+    """One lowered march element: an address sweep over an op block.
+
+    ``steps`` repeats the op fields as bare tuples
+    ``(is_read, relative, mask, derivable)`` — the engines' hot loops
+    iterate these to avoid attribute lookups.
+    """
+
+    index: int
+    descending: bool
+    ops: tuple[ProgramOp, ...]
+    steps: tuple[tuple[bool, bool, int, bool], ...]
+
+    def addresses(self, n_words: int) -> range:
+        if self.descending:
+            return range(n_words - 1, -1, -1)
+        return range(n_words)
+
+    @property
+    def n_reads(self) -> int:
+        return sum(1 for op in self.ops if op.is_read)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class MarchProgram:
+    """A march test lowered against a concrete word width."""
+
+    name: str
+    width: int
+    word_mask: int
+    elements: tuple[ProgramElement, ...]
+
+    def __iter__(self) -> Iterator[ProgramElement]:
+        return iter(self.elements)
+
+    @property
+    def op_count(self) -> int:
+        """Operations applied per address (the ``N`` of complexity
+        formulas)."""
+        return sum(len(e) for e in self.elements)
+
+    @property
+    def n_reads(self) -> int:
+        return sum(e.n_reads for e in self.elements)
+
+    @property
+    def derivable(self) -> bool:
+        """True when every relative write has a feeding read, i.e. the
+        program is executable with the operational derived-write
+        datapath."""
+        return all(
+            op.derive_from is not None
+            for e in self.elements
+            for op in e.ops
+            if op.is_write and op.relative
+        )
+
+    def flat_steps(self) -> list[tuple[bool, bool, int, bool]]:
+        """The per-address op sequence, concatenated across elements.
+
+        Valid for analyses that do not depend on cross-address
+        interleaving (single-word-confined fault evaluation).
+        """
+        return [step for e in self.elements for step in e.steps]
+
+
+def _compile(test: MarchTest, width: int) -> MarchProgram:
+    elements = []
+    for ei, element in enumerate(test.elements):
+        ops = []
+        steps = []
+        last_read: int | None = None
+        for oi, op in enumerate(element.ops):
+            mask = op.data.mask.resolve(width)
+            if op.is_read:
+                derive_from: int | None = None
+                last_read = oi
+            else:
+                derive_from = last_read
+            ops.append(
+                ProgramOp(oi, op.is_read, op.is_relative, mask, derive_from, str(op))
+            )
+            derivable = op.is_read or not op.is_relative or derive_from is not None
+            steps.append((op.is_read, op.is_relative, mask, derivable))
+        elements.append(
+            ProgramElement(
+                ei,
+                element.order is AddressOrder.DOWN,
+                tuple(ops),
+                tuple(steps),
+            )
+        )
+    return MarchProgram(test.name, width, (1 << width) - 1, tuple(elements))
+
+
+@functools.lru_cache(maxsize=512)
+def _compile_cached(test: MarchTest, width: int) -> MarchProgram:
+    return _compile(test, width)
+
+
+def compile_march(test: MarchTest, width: int) -> MarchProgram:
+    """Lower *test* to a :class:`MarchProgram` at *width* (cached)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return _compile_cached(test, width)
+
+
+def pack_words(words: Sequence[int], width: int) -> int:
+    """Pack a word list into one big integer, address-major.
+
+    Bit ``addr * width + bit`` of the result is bit ``bit`` of
+    ``words[addr]`` — the bit-plane layout the batch engine's
+    word-parallel evaluation operates on.
+    """
+    packed = 0
+    for addr, word in enumerate(words):
+        packed |= word << (addr * width)
+    return packed
+
+
+def replicate_mask(mask: int, n_words: int, width: int) -> int:
+    """Replicate a *width*-bit mask across *n_words* packed lanes."""
+    if n_words == 1:
+        return mask
+    repunit = ((1 << (n_words * width)) - 1) // ((1 << width) - 1)
+    return mask * repunit

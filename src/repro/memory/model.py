@@ -44,8 +44,9 @@ class Memory:
         self._check_addr(addr)
         value = self._fetch(addr)
         self.read_count += 1
-        for obs in self._observers:
-            obs.notify(AccessEvent("r", addr, value))
+        if self._observers:
+            for obs in self._observers:
+                obs.notify(AccessEvent("r", addr, value))
         return value
 
     def write(self, addr: int, value: int) -> None:
@@ -53,8 +54,9 @@ class Memory:
         value &= self._mask
         self._store(addr, value)
         self.write_count += 1
-        for obs in self._observers:
-            obs.notify(AccessEvent("w", addr, value))
+        if self._observers:
+            for obs in self._observers:
+                obs.notify(AccessEvent("w", addr, value))
 
     # Internal storage primitives; the fault-injecting subclass overrides
     # these, so observers always see the *requested* access while the

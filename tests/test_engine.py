@@ -1,0 +1,302 @@
+"""Engine subsystem tests: compiled IR + reference-vs-batch equivalence.
+
+The batch engine's contract is *bit-identical* campaign results: for
+every test in the catalog, every fault class, randomized initial
+content and multiple word widths, its coverage vectors, detection
+counts and undetected-fault lists must match the reference interpreter
+exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.bist.executor import run_march
+from repro.core.notation import parse_march
+from repro.core.twm import nontransparent_word_reference, twm_transform
+from repro.engine import (
+    BatchEngine,
+    ExecutionError,
+    MarchProgram,
+    ReferenceEngine,
+    compile_march,
+    engine_names,
+    get_engine,
+)
+from repro.engine.program import pack_words, replicate_mask
+from repro.library import catalog
+from repro.memory.faults import Cell, StuckAtFault
+from repro.memory.injection import (
+    FaultyMemory,
+    enumerate_address_faults,
+    enumerate_read_disturb,
+    standard_fault_universe,
+)
+from repro.memory.model import Memory
+
+N_WORDS = 3
+
+
+def small_universe(n_words, width, seed):
+    universe = standard_fault_universe(
+        n_words, width, max_inter_pairs=6, rng=random.Random(seed)
+    )
+    universe["RDF"] = list(enumerate_read_disturb(n_words, width))
+    universe["AF"] = list(enumerate_address_faults(n_words))
+    return universe
+
+
+def assert_campaigns_identical(test, n_words, width, seed, derive_writes=True):
+    universe = small_universe(n_words, width, seed)
+    flow = compare_flow(
+        test, n_words, width, initial=None, seed=seed, derive_writes=derive_writes
+    )
+    ref = run_campaign(flow, universe, engine="reference")
+    bat = run_campaign(flow, universe, engine="batch")
+    assert ref.coverage_vector() == bat.coverage_vector()
+    for name in universe:
+        assert ref.classes[name].detected == bat.classes[name].detected, name
+    assert ref.undetected == bat.undetected
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert {"reference", "batch"} <= set(engine_names())
+
+    def test_get_engine_by_name(self):
+        assert isinstance(get_engine("reference"), ReferenceEngine)
+        assert isinstance(get_engine("batch"), BatchEngine)
+
+    def test_default_is_reference(self):
+        assert isinstance(get_engine(), ReferenceEngine)
+
+    def test_instance_passthrough(self):
+        eng = BatchEngine()
+        assert get_engine(eng) is eng
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("warp")
+
+
+class TestProgramIR:
+    def test_compile_resolves_masks(self):
+        program = compile_march(catalog.get("March C-"), 8)
+        assert isinstance(program, MarchProgram)
+        assert program.width == 8
+        assert program.op_count == catalog.get("March C-").op_count
+        assert program.n_reads == catalog.get("March C-").n_reads
+        masks = {op.mask for e in program.elements for op in e.ops}
+        assert masks <= {0, 0xFF}
+
+    def test_compile_is_cached(self):
+        test = catalog.get("March U")
+        assert compile_march(test, 16) is compile_march(test, 16)
+        assert compile_march(test, 16) is not compile_march(test, 32)
+
+    def test_marchtest_compiled_convenience(self):
+        test = catalog.get("March U")
+        assert test.compiled(16) is compile_march(test, 16)
+
+    def test_derive_links(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        program = compile_march(twm.twmarch, 4)
+        assert program.derivable
+        for element in program.elements:
+            for op in element.ops:
+                if op.is_write and op.relative:
+                    fed_by = element.ops[op.derive_from]
+                    assert fed_by.is_read and fed_by.index < op.index
+
+    def test_underivable_flagged(self):
+        program = compile_march(parse_march("⇕(wc); ⇕(rc)", name="bad"), 4)
+        assert not program.derivable
+
+    def test_descending_order(self):
+        program = compile_march(parse_march("⇓(r0)", name="down"), 4)
+        assert program.elements[0].descending
+        assert list(program.elements[0].addresses(3)) == [2, 1, 0]
+
+    def test_pack_and_replicate(self):
+        assert pack_words([0b01, 0b11], 2) == 0b1101
+        assert replicate_mask(0b10, 3, 2) == 0b101010
+        assert replicate_mask(0b1, 1, 4) == 0b1
+
+
+class TestRunEquivalence:
+    """Both engines expose the same single-run interface and results."""
+
+    def faulty(self):
+        memory = FaultyMemory(4, 4, [StuckAtFault(Cell(1, 2), 1)])
+        memory.load([0b0101, 0b0010, 0b1111, 0b1000])
+        return memory
+
+    def test_run_results_identical(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        runs = []
+        for engine in ("reference", "batch"):
+            result = run_march(twm.twmarch, self.faulty(), engine=engine)
+            runs.append(
+                (result.ops_executed, result.n_reads, result.n_mismatches)
+            )
+        assert runs[0] == runs[1]
+
+    def test_read_streams_identical(self):
+        twm = twm_transform(catalog.get("March U"), 4)
+        streams = []
+        for engine in ("reference", "batch"):
+            stream = []
+            run_march(
+                twm.twmarch,
+                self.faulty(),
+                read_sink=lambda rec: stream.append((rec.addr, rec.raw)),
+                engine=engine,
+            )
+            streams.append(stream)
+        assert streams[0] == streams[1]
+
+    def test_collected_records_identical(self):
+        for test in (catalog.get("March C-"), catalog.get("MATS+")):
+            a = run_march(test, self.faulty(), collect=True, engine="reference")
+            b = run_march(test, self.faulty(), collect=True, engine="batch")
+            assert a.records == b.records
+
+    def test_underivable_raises_in_both(self):
+        bad = parse_march("⇕(wc); ⇕(rc)", name="bad")
+        for engine in ("reference", "batch"):
+            with pytest.raises(ExecutionError, match="no preceding read"):
+                run_march(bad, Memory(2, 4), engine=engine)
+
+    def test_batch_detect_underivable_raises(self):
+        bad = parse_march("⇕(wc); ⇕(rc)", name="bad")
+        faults = [StuckAtFault(Cell(0, 0), 1)]
+        with pytest.raises(ExecutionError, match="no preceding read"):
+            get_engine("batch").detect_batch(bad, 2, 4, [0, 0], faults)
+
+    def test_underivable_after_detection_matches_reference(self):
+        # The first element always mismatches (rc^1 against untouched
+        # content), so stop-on-mismatch never reaches the underivable
+        # second-element write: the interpreter reports detection
+        # instead of raising, and the batch engine must do the same.
+        tricky = parse_march("⇕(rc^1,wc); ⇕(wc)", name="tricky")
+        faults = [StuckAtFault(Cell(0, 0), 1), StuckAtFault(Cell(1, 2), 0)]
+        verdicts = {
+            engine: get_engine(engine).detect_batch(tricky, 2, 4, [0, 0], faults)
+            for engine in ("reference", "batch")
+        }
+        assert verdicts["reference"] == verdicts["batch"] == [True, True]
+
+
+class TestCampaignEquivalence:
+    """Bit-identical coverage across the catalog and fault classes."""
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_transparent_catalog(self, name):
+        twm = twm_transform(catalog.get(name), 4)
+        assert_campaigns_identical(
+            twm.twmarch, N_WORDS, 4, seed=sum(map(ord, name)) % 997
+        )
+
+    @pytest.mark.parametrize("name", ["MATS+", "March C-", "March U", "March SS"])
+    def test_solid_catalog(self, name):
+        assert_campaigns_identical(catalog.get(name), N_WORDS, 4, seed=13)
+
+    @pytest.mark.parametrize("width", [1, 2, 8, 16])
+    def test_word_widths(self, width):
+        test = (
+            catalog.get("March C-")
+            if width == 1
+            else twm_transform(catalog.get("March C-"), width).twmarch
+        )
+        assert_campaigns_identical(test, N_WORDS, width, seed=width)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_content(self, seed):
+        twm = twm_transform(catalog.get("March U"), 8)
+        assert_campaigns_identical(twm.twmarch, 4, 8, seed=seed)
+
+    def test_oracle_write_mode(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        assert_campaigns_identical(
+            twm.twmarch, N_WORDS, 4, seed=7, derive_writes=False
+        )
+
+    def test_nontransparent_reference_test(self):
+        ref = nontransparent_word_reference(catalog.get("March C-"), 8)
+        assert_campaigns_identical(ref, N_WORDS, 8, seed=17)
+
+    def test_ill_formed_test_matches_interpreter(self):
+        # A test that mismatches even on a fault-free memory exercises
+        # the batch engine's fault-free baseline plane.
+        ill = parse_march("⇑(r1); ⇓(r0,w0)", name="ill")
+        assert_campaigns_identical(ill, N_WORDS, 4, seed=23)
+
+    def test_uniform_content(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(N_WORDS, 4, 31)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        ref = run_campaign(flow, universe, engine="reference")
+        bat = run_campaign(flow, universe, engine="batch")
+        assert ref.coverage_vector() == bat.coverage_vector()
+
+
+class TestCampaignReportExtras:
+    def test_stats_populated(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(N_WORDS, 4, 3)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        report = run_campaign(flow, universe, engine="batch")
+        assert report.engine == "batch"
+        assert set(report.stats) == set(universe)
+        for name, stats in report.stats.items():
+            assert stats.total == len(universe[name])
+            assert stats.seconds >= 0.0
+            assert stats.engine == "batch"
+        assert report.seconds == sum(s.seconds for s in report.stats.values())
+
+    def test_progress_callback_delivers_early_statistics(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(N_WORDS, 4, 3)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        seen = []
+        run_campaign(
+            flow,
+            universe,
+            engine="batch",
+            progress=lambda cov, stats: seen.append((cov.name, stats.name)),
+        )
+        assert seen == [(name, name) for name in universe]
+
+    def test_plain_flow_ignores_engine(self):
+        # A bare callable cannot be batched; the campaign falls back to
+        # per-fault calls and still reports correctly.
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = {"SAF": small_universe(N_WORDS, 4, 3)["SAF"]}
+        structured = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        bare = lambda fault: structured(fault)  # noqa: E731
+        a = run_campaign(structured, universe, engine="batch")
+        b = run_campaign(bare, universe, engine="batch")
+        assert a.coverage_vector() == b.coverage_vector()
+        # Stats name the backend that actually ran, not the requested one.
+        assert a.engine == "batch" and a.stats["SAF"].engine == "batch"
+        assert b.engine is None and b.stats["SAF"].engine == "flow"
+
+
+class TestInitialWordsMasking:
+    def test_sequence_initial_masked_to_width(self):
+        # Regression: an explicit Sequence[int] initial content used to
+        # bypass the word-width mask that Memory.load applies.
+        from repro.analysis.coverage import _initial_words
+
+        assert _initial_words(3, 4, [0xFF, 0x10, 0x3], 0) == [0xF, 0x0, 0x3]
+
+    def test_flow_with_overwide_initial(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        wide = compare_flow(twm.twmarch, N_WORDS, 4, initial=[0x1F2, 0xFF, 0x7])
+        masked = compare_flow(twm.twmarch, N_WORDS, 4, initial=[0x2, 0xF, 0x7])
+        assert wide.words == masked.words
+        universe = {"SAF": small_universe(N_WORDS, 4, 0)["SAF"]}
+        a = run_campaign(wide, universe, engine="batch")
+        b = run_campaign(masked, universe, engine="reference")
+        assert a.coverage_vector() == b.coverage_vector()
