@@ -1,102 +1,259 @@
-"""Engine speedup benchmark: batch vs reference on a coverage campaign.
+"""Engine speedup benchmark: reference vs batch vs batch+jobs, both oracles.
 
-Runs the E7 fault-coverage workload (TWMarch of March C-, the standard
-Section 2 fault universe) through both registered engines, checks the
-coverage vectors are bit-identical, and reports wall-clock, simulated
-march-operation throughput and the speedup ratio as JSON (printed and
-saved to ``benchmarks/out/engine_speedup.json``).
+Two workloads of the E7 coverage campaign (TWMarch of the chosen test,
+the Section 2 universe plus the RDF/DRDF/AF extension classes):
+
+* **base** — small enough for the op-by-op reference interpreter; runs
+  ``reference`` and ``batch`` through both the compare oracle and the
+  two-phase MISR signature oracle, checking bit-identical coverage
+  vectors and reporting the batch speedup.
+* **scaled** — the production-sized memory (>= 64 words by default)
+  that only the batch paths can afford; runs single-process ``batch``
+  against ``batch + jobs`` (process-sharded campaign runner) per
+  oracle, checking that sharding leaves the reports bit-identical.
+
+The batch runs also instrument the engine's reference fallback to
+prove that no fault class of the standard universe is routed through
+the interpreter anymore (the AF fast path closed the last gap).
+
+Results are written as machine-readable JSON to ``BENCH_engine.json``
+at the repository root (the tracked perf trajectory) and mirrored to
+``benchmarks/out/engine_speedup.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_speedup.py
-    PYTHONPATH=src python benchmarks/bench_engine_speedup.py --words 16 --width 8
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py \
+        --scaled-words 128 --jobs 8 --repeats 3
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import random
 import time
+from unittest import mock
 
-from repro.analysis.coverage import compare_flow, run_campaign
+from repro.analysis.coverage import compare_flow, run_campaign, signature_flow
 from repro.core.twm import twm_transform
 from repro.engine import compile_march
+from repro.engine import batch as batch_module
 from repro.library import catalog
 from repro.memory.injection import standard_fault_universe
 
-OUT_PATH = pathlib.Path(__file__).parent / "out" / "engine_speedup.json"
+ROOT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+MIRROR_OUT = pathlib.Path(__file__).parent / "out" / "engine_speedup.json"
 
 
-def measure(flow, universe, engine: str, repeats: int) -> tuple[float, dict]:
-    """Best-of-*repeats* wall-clock for one full campaign."""
+class _FallbackCounter:
+    """Counts (and forwards) the batch engine's reference fallbacks."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self._compare = batch_module._CampaignContext._fallback
+        self._signature = batch_module._SignatureContext._fallback
+
+    def __enter__(self) -> "_FallbackCounter":
+        counter = self
+
+        def compare(ctx, fault):
+            counter.calls += 1
+            return counter._compare(ctx, fault)
+
+        def signature(ctx, fault):
+            counter.calls += 1
+            return counter._signature(ctx, fault)
+
+        self._patches = [
+            mock.patch.object(
+                batch_module._CampaignContext, "_fallback", compare
+            ),
+            mock.patch.object(
+                batch_module._SignatureContext, "_fallback", signature
+            ),
+        ]
+        for patch in self._patches:
+            patch.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for patch in self._patches:
+            patch.stop()
+
+
+def build_workload(args, n_words: int):
+    twm = twm_transform(catalog.get(args.test), args.width)
+    universe = standard_fault_universe(
+        n_words,
+        args.width,
+        max_inter_pairs=args.max_inter_pairs,
+        rng=random.Random(0),
+        include_rdf=True,
+        include_af=True,
+    )
+    flows = {
+        "compare": compare_flow(
+            twm.twmarch, n_words, args.width, initial=None, seed=args.seed
+        ),
+        "signature": signature_flow(
+            twm.twmarch,
+            twm.prediction,
+            n_words,
+            args.width,
+            misr_width=args.misr_width,
+            initial=None,
+            seed=args.seed,
+        ),
+    }
+    return twm, universe, flows
+
+
+def measure(flow, universe, engine, jobs, repeats):
+    """Best-of-*repeats* wall-clock plus the final report."""
     best = float("inf")
     report = None
     for _ in range(repeats):
         started = time.perf_counter()
-        report = run_campaign(flow, universe, engine=engine)
+        report = run_campaign(flow, universe, engine=engine, jobs=jobs)
         best = min(best, time.perf_counter() - started)
-    return best, report.coverage_vector()
+    return best, report
+
+
+def leg(seconds: float, n_faults: int, total_ops: int) -> dict:
+    return {
+        "seconds": round(seconds, 6),
+        "faults_per_sec": round(n_faults / seconds, 1),
+        "ops_per_sec": round(total_ops / seconds, 1),
+    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--test", default="March C-")
-    parser.add_argument("--words", type=int, default=4)
     parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--words", type=int, default=8,
+                        help="base workload size (reference-affordable)")
+    parser.add_argument("--scaled-words", type=int, default=128,
+                        help="scaled workload size (batch paths only); the "
+                        "AF class grows quadratically, so this is where "
+                        "per-fault subset work dominates and sharding pays")
     parser.add_argument("--max-inter-pairs", type=int, default=24)
+    parser.add_argument("--misr-width", type=int, default=16)
     parser.add_argument("--seed", type=int, default=11)
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--jobs", type=int, default=max(2, min(4, os.cpu_count() or 1)),
+        help="worker processes for the batch+jobs legs (>= 2 so the "
+        "sharded runner is always exercised)",
+    )
     args = parser.parse_args(argv)
 
-    twm = twm_transform(catalog.get(args.test), args.width)
+    payload = {
+        "workload": f"TWMarch {args.test} coverage campaign "
+        "(Section 2 universe + RDF/DRDF/AF)",
+        "width": args.width,
+        "misr_width": args.misr_width,
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "workloads": {},
+        "checks": {},
+    }
+    ok = True
+
+    # -- base workload: reference vs batch, both oracles ----------------
+    twm, universe, flows = build_workload(args, args.words)
     program = compile_march(twm.twmarch, args.width)
-    universe = standard_fault_universe(
-        args.words,
-        args.width,
-        max_inter_pairs=args.max_inter_pairs,
-        rng=random.Random(0),
-    )
     n_faults = sum(len(faults) for faults in universe.values())
     # March operations an interpretive sweep must execute: every fault
-    # replays the whole test over the whole memory.
+    # replays the whole test over the whole memory (signature mode adds
+    # the prediction pass on top; we keep the same op basis so the two
+    # oracles' throughput numbers stay comparable).
     total_ops = n_faults * program.op_count * args.words
-    flow = compare_flow(
-        twm.twmarch, args.words, args.width, initial=None, seed=args.seed
-    )
-
-    results = {}
-    vectors = {}
-    for engine in ("reference", "batch"):
-        seconds, vector = measure(flow, universe, engine, args.repeats)
-        results[engine] = {
-            "seconds": round(seconds, 6),
-            "faults_per_sec": round(n_faults / seconds, 1),
-            "ops_per_sec": round(total_ops / seconds, 1),
-        }
-        vectors[engine] = vector
-
-    payload = {
-        "workload": f"TWMarch {args.test} coverage campaign",
+    base = {
         "n_words": args.words,
-        "width": args.width,
+        "n_faults": n_faults,
         "op_count_per_address": program.op_count,
+        "total_march_ops": total_ops,
+        "modes": {},
+    }
+    for mode, flow in flows.items():
+        ref_seconds, ref_report = measure(
+            flow, universe, "reference", 1, args.repeats
+        )
+        with _FallbackCounter() as fallbacks:
+            bat_seconds, bat_report = measure(
+                flow, universe, "batch", 1, args.repeats
+            )
+        identical = ref_report.coverage_vector() == bat_report.coverage_vector()
+        ok &= identical and fallbacks.calls == 0
+        base["modes"][mode] = {
+            "reference": leg(ref_seconds, n_faults, total_ops),
+            "batch": leg(bat_seconds, n_faults, total_ops),
+            "speedup_batch_vs_reference": round(ref_seconds / bat_seconds, 2),
+            "vectors_identical": identical,
+            "batch_reference_fallbacks": fallbacks.calls,
+        }
+    payload["workloads"]["base"] = base
+
+    # -- scaled workload: batch vs batch+jobs, both oracles -------------
+    _, universe, flows = build_workload(args, args.scaled_words)
+    n_faults = sum(len(faults) for faults in universe.values())
+    total_ops = n_faults * program.op_count * args.scaled_words
+    scaled = {
+        "n_words": args.scaled_words,
         "n_faults": n_faults,
         "total_march_ops": total_ops,
-        "reference": results["reference"],
-        "batch": results["batch"],
-        "speedup": round(
-            results["reference"]["seconds"] / results["batch"]["seconds"], 2
+        "modes": {},
+    }
+    for mode, flow in flows.items():
+        # The counter only sees this process, so it wraps the
+        # single-process leg; the jobs leg executes the identical
+        # per-chunk code path in its workers.
+        with _FallbackCounter() as fallbacks:
+            bat_seconds, bat_report = measure(
+                flow, universe, "batch", 1, args.repeats
+            )
+        par_seconds, par_report = measure(
+            flow, universe, "batch", args.jobs, args.repeats
+        )
+        identical = (
+            bat_report.coverage_vector() == par_report.coverage_vector()
+            and bat_report.undetected == par_report.undetected
+        )
+        ok &= identical and fallbacks.calls == 0
+        scaled["modes"][mode] = {
+            "batch": leg(bat_seconds, n_faults, total_ops),
+            "batch_jobs": leg(par_seconds, n_faults, total_ops),
+            "speedup_jobs_vs_batch": round(bat_seconds / par_seconds, 2),
+            "reports_identical": identical,
+            "batch_reference_fallbacks": fallbacks.calls,
+        }
+    payload["workloads"]["scaled"] = scaled
+
+    payload["checks"] = {
+        "all_vectors_identical": ok,
+        "af_fast_path": all(
+            w["modes"][m]["batch_reference_fallbacks"] == 0
+            for w in payload["workloads"].values()
+            for m in w["modes"]
         ),
-        "vectors_identical": vectors["reference"] == vectors["batch"],
+        "single_core_note": (
+            "jobs legs cannot exceed 1x on a single-CPU host"
+            if (os.cpu_count() or 1) < 2
+            else None
+        ),
     }
 
-    OUT_PATH.parent.mkdir(exist_ok=True)
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(payload, indent=2))
-    if not payload["vectors_identical"]:
-        print("ERROR: engines disagree on coverage")
+    text = json.dumps(payload, indent=2) + "\n"
+    ROOT_OUT.write_text(text, encoding="utf-8")
+    MIRROR_OUT.parent.mkdir(exist_ok=True)
+    MIRROR_OUT.write_text(text, encoding="utf-8")
+    print(text, end="")
+    if not ok:
+        print("ERROR: engines disagree on coverage or fallback detected")
         return 1
     return 0
 

@@ -3,6 +3,8 @@
 from .coverage import (
     CampaignReport,
     ClassCoverage,
+    CompareFlow,
+    SignatureFlow,
     aliasing_flow,
     compare_flow,
     compare_reports,
@@ -31,9 +33,11 @@ __all__ = [
     "CampaignReport",
     "CellObservation",
     "ClassCoverage",
+    "CompareFlow",
     "Diagnosis",
     "IntraWordConditions",
     "PairConditionCoverage",
+    "SignatureFlow",
     "SymbolicRow",
     "TwoCellEvent",
     "aliasing_flow",

@@ -8,11 +8,16 @@ behind the paper's Section 5 coverage-equality theorem (benchmark E7).
 
 Campaigns can be executed through a pluggable simulation engine
 (``run_campaign(..., engine="batch")``): when the flow is a
-structure-carrying :class:`CompareFlow`, the whole per-class fault
-sweep is handed to :meth:`repro.engine.Engine.detect_batch`, which the
-vectorized batch backend evaluates word-parallel instead of
-op-by-op.  Every engine is equivalence-tested to produce bit-identical
-coverage vectors (see ``tests/test_engine.py``).
+structure-carrying :class:`CompareFlow` or :class:`SignatureFlow`, the
+whole per-class fault sweep is handed to
+:meth:`repro.engine.Engine.detect_batch` /
+:meth:`repro.engine.Engine.detect_signature_batch`, which the
+vectorized batch backend evaluates word-parallel instead of op-by-op.
+With ``jobs=N`` the per-class sweeps are additionally sharded across
+worker processes (:class:`repro.engine.CampaignRunner`) and merged
+back deterministically — ``jobs=1`` and ``jobs=N`` produce
+bit-identical reports.  Every engine is equivalence-tested to produce
+bit-identical coverage vectors (see ``tests/test_engine.py``).
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ from typing import Callable, Sequence
 from ..bist.controller import TransparentBist
 from ..bist.executor import run_march
 from ..core.march import MarchTest
-from ..engine import Engine, get_engine
+from ..engine import (
+    CampaignRunner,
+    CompareWork,
+    Engine,
+    SignatureWork,
+    get_engine,
+)
 from ..memory.faults import Fault
 from ..memory.injection import FaultyMemory
 
@@ -75,6 +86,7 @@ class CampaignReport:
     undetected: dict[str, list[Fault]] = field(default_factory=dict)
     stats: dict[str, ClassStats] = field(default_factory=dict)
     engine: str | None = None
+    jobs: int = 1
 
     @property
     def total(self) -> int:
@@ -115,57 +127,75 @@ def run_campaign(
     flow_name: str = "flow",
     keep_undetected: int = 16,
     engine: str | Engine | None = None,
+    jobs: int = 1,
     progress: ProgressCallback | None = None,
 ) -> CampaignReport:
     """Simulate every fault in *universe* through *flow*.
 
-    With ``engine`` set and a :class:`CompareFlow` flow, each class is
-    evaluated through :meth:`Engine.detect_batch` (the ``"batch"``
-    engine vectorizes this); any other flow falls back to per-fault
-    calls regardless of the engine.  ``progress`` receives the
-    per-class coverage and timing as soon as each class completes, so
-    long campaigns expose early statistics instead of a single final
-    report.
+    With ``engine`` set and a structure-carrying flow, each class is
+    evaluated through the engine's batch path —
+    :meth:`Engine.detect_batch` for :class:`CompareFlow`,
+    :meth:`Engine.detect_signature_batch` for :class:`SignatureFlow`
+    (the ``"batch"`` engine vectorizes both); any other flow falls back
+    to per-fault calls regardless of the engine.  ``jobs > 1``
+    additionally shards each class across that many worker processes
+    with a deterministic merge, so reports are bit-identical to
+    ``jobs=1``.  ``progress`` receives the per-class coverage and
+    timing as soon as each class completes, so long campaigns expose
+    early statistics instead of a single final report.
     """
     eng = get_engine(engine) if engine is not None else None
-    batchable = eng is not None and isinstance(flow, CompareFlow)
+    work = flow.work_unit() if (
+        eng is not None and isinstance(flow, (CompareFlow, SignatureFlow))
+    ) else None
     # Attribute stats to the backend that actually ran: a bare callable
     # cannot be batched, so the engine is bypassed entirely.
-    engine_label = eng.name if batchable else "flow"
-    report = CampaignReport(flow_name, engine=eng.name if batchable else None)
-    for class_name, faults in universe.items():
-        started = time.perf_counter()
-        if batchable:
-            verdicts = eng.detect_batch(
-                flow.test,
-                flow.n_words,
-                flow.width,
-                flow.words,
-                faults,
-                derive_writes=flow.derive_writes,
+    engine_label = eng.name if work is not None else "flow"
+    sharded = work is not None and jobs > 1
+    runner = CampaignRunner(eng, jobs) if sharded else None
+    report = CampaignReport(
+        flow_name,
+        engine=eng.name if work is not None else None,
+        # The runner may demote itself to inline execution (e.g. an
+        # unregistered engine instance); report what actually ran.
+        jobs=runner.jobs if runner is not None else 1,
+    )
+    if runner is not None:
+        runner.bind(work, universe)
+    try:
+        for class_name, faults in universe.items():
+            started = time.perf_counter()
+            if runner is not None:
+                verdicts = runner.detect_class(
+                    work, faults, class_name=class_name
+                )
+            elif work is not None:
+                verdicts = work.run(eng, faults)
+            else:
+                verdicts = [flow(fault) for fault in faults]
+            detected = 0
+            missed: list[Fault] = []
+            for fault, hit in zip(faults, verdicts, strict=True):
+                if hit:
+                    detected += 1
+                elif len(missed) < keep_undetected:
+                    missed.append(fault)
+            coverage = ClassCoverage(class_name, len(faults), detected)
+            stats = ClassStats(
+                class_name,
+                len(faults),
+                time.perf_counter() - started,
+                engine_label,
             )
-        else:
-            verdicts = [flow(fault) for fault in faults]
-        detected = 0
-        missed: list[Fault] = []
-        for fault, hit in zip(faults, verdicts):
-            if hit:
-                detected += 1
-            elif len(missed) < keep_undetected:
-                missed.append(fault)
-        coverage = ClassCoverage(class_name, len(faults), detected)
-        stats = ClassStats(
-            class_name,
-            len(faults),
-            time.perf_counter() - started,
-            engine_label,
-        )
-        report.classes[class_name] = coverage
-        report.stats[class_name] = stats
-        if missed:
-            report.undetected[class_name] = missed
-        if progress is not None:
-            progress(coverage, stats)
+            report.classes[class_name] = coverage
+            report.stats[class_name] = stats
+            if missed:
+                report.undetected[class_name] = missed
+            if progress is not None:
+                progress(coverage, stats)
+    finally:
+        if runner is not None:
+            runner.close()
     return report
 
 
@@ -221,6 +251,16 @@ class CompareFlow:
         )
         return result.detected
 
+    def work_unit(self) -> CompareWork:
+        """The picklable campaign work unit handed to engines/shards."""
+        return CompareWork(
+            self.test,
+            self.n_words,
+            self.width,
+            tuple(self.words),
+            self.derive_writes,
+        )
+
 
 def compare_flow(
     test: MarchTest,
@@ -243,6 +283,63 @@ def compare_flow(
     return CompareFlow(test, n_words, width, words, derive_writes)
 
 
+class SignatureFlow:
+    """Realistic two-phase transparent BIST flow with inspectable
+    structure (MISR compare, aliasing possible).
+
+    Calling it with a fault behaves like the classic closure (fresh
+    faulty memory, full :class:`TransparentBist` session); the exposed
+    ``test`` / ``prediction`` / ``n_words`` / ``width`` / ``words`` /
+    ``misr_width`` / ``misr_seed`` attributes let
+    :func:`run_campaign` hand whole fault classes to an engine's
+    batched signature oracle instead.
+    """
+
+    def __init__(
+        self,
+        test: MarchTest,
+        prediction: MarchTest | None,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+        engine: str | Engine | None = None,
+    ) -> None:
+        self.controller = TransparentBist(
+            test,
+            prediction,
+            misr_width=misr_width,
+            misr_seed=misr_seed,
+            engine=engine,
+        )
+        self.test = self.controller.test
+        self.prediction = self.controller.prediction
+        self.n_words = n_words
+        self.width = width
+        self.words = list(words)
+        self.misr_width = misr_width
+        self.misr_seed = misr_seed
+
+    def __call__(self, fault: Fault) -> bool:
+        memory = FaultyMemory(self.n_words, self.width, [fault])
+        memory.load(self.words)
+        return self.controller.run(memory).detected
+
+    def work_unit(self) -> SignatureWork:
+        """The picklable campaign work unit handed to engines/shards."""
+        return SignatureWork(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            tuple(self.words),
+            self.misr_width,
+            self.misr_seed,
+        )
+
+
 def signature_flow(
     test: MarchTest,
     prediction: MarchTest,
@@ -250,23 +347,24 @@ def signature_flow(
     width: int,
     *,
     misr_width: int = 16,
+    misr_seed: int = 0,
     initial: Sequence[int] | int | None = None,
     seed: int = 0,
     engine: str | Engine | None = None,
-) -> Flow:
+) -> SignatureFlow:
     """Realistic two-phase transparent BIST detection (MISR compare,
     aliasing possible)."""
     words = _initial_words(n_words, width, initial, seed)
-    controller = TransparentBist(
-        test, prediction, misr_width=misr_width, engine=engine
+    return SignatureFlow(
+        test,
+        prediction,
+        n_words,
+        width,
+        words,
+        misr_width=misr_width,
+        misr_seed=misr_seed,
+        engine=engine,
     )
-
-    def flow(fault: Fault) -> bool:
-        memory = FaultyMemory(n_words, width, [fault])
-        memory.load(words)
-        return controller.run(memory).detected
-
-    return flow
 
 
 def aliasing_flow(

@@ -4,9 +4,21 @@ A transparent BIST session compares the signature produced by the test
 phase against the one computed by the signature-prediction phase; the
 MISR compacts the read stream into a ``width``-bit signature with an
 aliasing probability of about ``2**-width`` for random error patterns.
+
+The register's next-state function is GF(2)-linear in both the state
+and the input word (shifts, the tap-parity feedback and the XOR fold
+all distribute over XOR).  The batched signature oracle of
+:mod:`repro.engine.batch` exploits that linearity: the contribution of
+every absorbed input bit to the final signature is a fixed vector, so a
+fault's signature can be derived from the fault-free one by XOR-ing the
+weights of the read bits it corrupts.  :func:`absorb_weight_table` and
+:func:`fold_table` precompute those vectors; :func:`signature_of_stream`
+produces the fault-free anchor in one optimized pass.
 """
 
 from __future__ import annotations
+
+import functools
 
 from .lfsr import parity, tap_mask
 
@@ -31,8 +43,12 @@ class Misr:
 
     def fold(self, value: int) -> int:
         """Fold an arbitrarily wide input into ``width`` bits."""
-        folded = 0
-        value &= (1 << max(value.bit_length(), 1)) - 1
+        if value < 0:
+            # Interpret a negative input by its two's-complement
+            # magnitude bits (the arithmetic shift would never reach 0).
+            value &= (1 << max(value.bit_length(), 1)) - 1
+        folded = value & self.mask
+        value >>= self.width
         while value:
             folded ^= value & self.mask
             value >>= self.width
@@ -45,8 +61,32 @@ class Misr:
         self.absorbed += 1
 
     def absorb_all(self, values) -> None:
+        """Clock every word of *values* into the register.
+
+        Semantically ``for v in values: self.absorb(v)``; the attribute
+        lookups, the feedback parity and the chunk fold are hoisted into
+        locals because signature campaigns push the whole read stream of
+        every fault hypothesis through this loop.
+        """
+        state = self.state
+        taps = self.taps
+        mask = self.mask
+        width = self.width
+        count = 0
         for value in values:
-            self.absorb(value)
+            if value < 0:
+                value &= (1 << max(value.bit_length(), 1)) - 1
+            folded = value & mask
+            rest = value >> width
+            while rest:
+                folded ^= rest & mask
+                rest >>= width
+            state = (
+                ((state << 1) & mask) | ((state & taps).bit_count() & 1)
+            ) ^ folded
+            count += 1
+        self.state = state
+        self.absorbed += count
 
     @property
     def signature(self) -> int:
@@ -69,3 +109,63 @@ def signature_of(values, width: int = 16, seed: int = 0) -> int:
     misr = Misr(width, seed)
     misr.absorb_all(values)
     return misr.signature
+
+
+def signature_of_stream(
+    values, *, width: int = 16, seed: int = 0
+) -> tuple[int, int]:
+    """Signature *and length* of an input stream in one pass.
+
+    The batched signature oracle needs both: the stream length fixes
+    the per-input linear weights (:func:`absorb_weight_table`) that turn
+    a fault's read-stream diff into its signature diff.
+    """
+    misr = Misr(width, seed)
+    misr.absorb_all(values)
+    return misr.signature, misr.absorbed
+
+
+@functools.lru_cache(maxsize=128)
+def fold_table(input_width: int, width: int) -> tuple[int, ...]:
+    """Register bit that input bit ``b`` folds into: ``b % width``.
+
+    Precomputed per ``(input_width, width)`` so per-bit error
+    attribution in the batched oracle indexes a tuple instead of
+    dividing in its innermost loop.
+    """
+    if input_width < 1 or width < 1:
+        raise ValueError("widths must be >= 1")
+    return tuple(b % width for b in range(input_width))
+
+
+@functools.lru_cache(maxsize=32)
+def absorb_weight_table(
+    n_inputs: int, width: int
+) -> tuple[tuple[int, ...], ...]:
+    """Per-input linear weights of an ``n_inputs``-long absorption.
+
+    ``table[k][b]`` is the contribution of bit ``b`` of the *k*-th
+    absorbed (already folded) input word to the final signature, i.e.
+    ``A**(n_inputs-1-k)`` applied to the unit vector ``1 << b``, where
+    ``A`` is the register's autonomous next-state map.  Because the
+    register is GF(2)-linear, ``signature(faulty stream) ==
+    signature(fault-free stream) XOR table[k][b]`` XOR-accumulated over
+    every corrupted input bit ``(k, b)`` — the seed contribution cancels.
+
+    Cached: a signature campaign rebuilds its context per fault class
+    (and per shard chunk) with identical stream lengths.
+    """
+    if n_inputs < 0:
+        raise ValueError("n_inputs must be >= 0")
+    mask = (1 << width) - 1
+    taps = tap_mask(width)
+    table: list[tuple[int, ...]] = [()] * n_inputs
+    current = tuple(1 << b for b in range(width))  # A**0 == identity
+    for k in range(n_inputs - 1, -1, -1):
+        table[k] = current
+        if k:
+            current = tuple(
+                ((x << 1) & mask) | ((x & taps).bit_count() & 1)
+                for x in current
+            )
+    return tuple(table)

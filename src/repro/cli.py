@@ -11,9 +11,13 @@ Commands
     Run TWM_TA (or the Scheme 1 baseline) and print all artifacts.
 ``complexity [--widths 16,32,64,128] [--tests "March C-,March U"]``
     Regenerate the Table 3 word-size sweep.
-``coverage NAME --width B [--words N] [--seed S] [--engine E]``
-    Fault-simulate the transformed test over the standard universe,
-    optionally through the vectorized batch engine.
+``coverage NAME --width B [--words N] [--seed S] [--engine E] [--jobs J]``
+    Fault-simulate the transformed test over the standard universe
+    (plus the RDF/DRDF/AF extension classes) through a pluggable
+    engine; ``--jobs N`` shards each fault class across N worker
+    processes with a deterministic merge, and ``--mode signature``
+    swaps the alias-free compare oracle for the paper's two-phase
+    MISR signature session.
 ``validate NOTATION``
     Parse and validate a March test given in textual notation.
 """
@@ -24,7 +28,7 @@ import argparse
 import random
 import sys
 
-from .analysis.coverage import compare_flow, run_campaign
+from .analysis.coverage import compare_flow, run_campaign, signature_flow
 from .analysis.reports import render_table
 from .baselines.scheme1 import scheme1_transform
 from .core.complexity import table3_rows
@@ -122,16 +126,34 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         args.width,
         max_inter_pairs=args.max_inter_pairs,
         rng=random.Random(args.seed),
+        include_rdf=not args.no_extension_classes,
+        include_af=not args.no_extension_classes,
     )
-    flow = compare_flow(
-        result.twmarch, args.words, args.width, initial=None, seed=args.seed
-    )
+    if args.mode == "signature":
+        flow = signature_flow(
+            result.twmarch,
+            result.prediction,
+            args.words,
+            args.width,
+            misr_width=args.misr_width,
+            initial=None,
+            seed=args.seed,
+        )
+    else:
+        flow = compare_flow(
+            result.twmarch, args.words, args.width, initial=None, seed=args.seed
+        )
     report = run_campaign(
-        flow, universe, flow_name=f"TWMarch {args.name}", engine=args.engine
+        flow,
+        universe,
+        flow_name=f"TWMarch {args.name} [{args.mode}]",
+        engine=args.engine,
+        jobs=args.jobs,
     )
     print(report.render())
+    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
     print(
-        f"  engine: {args.engine} "
+        f"  engine: {args.engine}{jobs_note} "
         f"({report.total} faults in {report.seconds:.3f}s)"
     )
     return 0
@@ -190,14 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
     coverage = sub.add_parser("coverage", help="fault-simulate a TWMarch")
     coverage.add_argument("name")
     coverage.add_argument("--width", type=int, default=8)
-    coverage.add_argument("--words", type=int, default=4)
+    # Scaled default workload: the batch engine evaluates whole fault
+    # classes per O(op_count) pass, so 16 words costs what 4 used to.
+    coverage.add_argument("--words", type=int, default=16)
     coverage.add_argument("--seed", type=int, default=0)
     coverage.add_argument("--max-inter-pairs", type=int, default=16)
     coverage.add_argument(
         "--engine",
         choices=engine_names(),
-        default="reference",
+        default="batch",
         help="simulation backend (batch = vectorized campaign engine)",
+    )
+    coverage.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sharded campaign execution "
+        "(deterministic: same report for any value)",
+    )
+    coverage.add_argument(
+        "--mode",
+        choices=("compare", "signature"),
+        default="compare",
+        help="detection oracle: alias-free compare, or the two-phase "
+        "MISR signature session (aliasing possible)",
+    )
+    coverage.add_argument("--misr-width", type=int, default=16)
+    coverage.add_argument(
+        "--no-extension-classes",
+        action="store_true",
+        help="restrict the universe to the historical Section 2 "
+        "classes (drop RDF/DRDF/AF)",
     )
 
     validate = sub.add_parser("validate", help="check a notation string")

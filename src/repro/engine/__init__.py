@@ -12,8 +12,12 @@ Layers (see ``README.md`` in this directory):
 * :mod:`repro.engine.reference` — exact op-by-op interpretation, the
   semantic baseline;
 * :mod:`repro.engine.batch` — word-parallel campaign evaluation
-  (bit-plane passes for single-cell faults, two-word subset simulation
-  for coupling faults, reference fallback otherwise).
+  (bit-plane passes for single-cell faults, subset simulation for
+  coupling and address-decoder faults, linear-MISR signature batching,
+  reference fallback otherwise);
+* :mod:`repro.engine.parallel` — process-sharded campaign execution
+  (:class:`CampaignRunner`), merging per-chunk verdicts back into the
+  deterministic sequential order.
 
 Select a backend by name wherever an ``engine=`` parameter is accepted
 (``run_campaign``, ``TransparentBist``, the ``coverage`` CLI command)::
@@ -36,11 +40,14 @@ from .base import (
     register_engine,
 )
 from .batch import BatchEngine
+from .parallel import CampaignRunner, CompareWork, SignatureWork, shard_bounds
 from .program import MarchProgram, ProgramElement, ProgramOp, compile_march
 from .reference import ReferenceEngine, execute_program
 
 __all__ = [
     "BatchEngine",
+    "CampaignRunner",
+    "CompareWork",
     "DEFAULT_ENGINE",
     "Engine",
     "ExecutionError",
@@ -51,9 +58,11 @@ __all__ = [
     "ReadSink",
     "ReferenceEngine",
     "RunResult",
+    "SignatureWork",
     "compile_march",
     "engine_names",
     "execute_program",
     "get_engine",
     "register_engine",
+    "shard_bounds",
 ]

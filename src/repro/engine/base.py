@@ -121,6 +121,58 @@ class Engine:
             )
         return out
 
+    def detect_signature_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        prediction: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> list[bool]:
+        """Signature-oracle detection verdict for every fault in *faults*.
+
+        Each fault is simulated alone on a fresh memory loaded with
+        *words*; a two-phase transparent BIST session (prediction phase
+        feeding one MISR with pattern-corrected reads, test phase
+        feeding a second MISR with raw reads — the semantics of
+        :class:`repro.bist.controller.TransparentBist`) runs through
+        this engine, and the verdict is whether the two signatures
+        differ.  Aliasing is possible, exactly as in hardware.  The base
+        implementation loops :meth:`run`; vectorized backends override.
+        """
+        from ..bist.misr import Misr
+        from ..memory.injection import FaultyMemory
+
+        test_program = self._program(test, width)
+        prediction_program = self._program(prediction, width)
+        out = []
+        for fault in faults:
+            memory = FaultyMemory(n_words, width, [fault])
+            memory.load(words)
+            snapshot = memory.snapshot()
+            predict_misr = Misr(misr_width, misr_seed)
+            self.run(
+                prediction_program,
+                memory,
+                snapshot=snapshot,
+                read_sink=lambda rec: predict_misr.absorb(
+                    rec.raw ^ rec.mask_value
+                ),
+            )
+            test_misr = Misr(misr_width, misr_seed)
+            self.run(
+                test_program,
+                memory,
+                snapshot=snapshot,
+                read_sink=lambda rec: test_misr.absorb(rec.raw),
+            )
+            out.append(predict_misr.signature != test_misr.signature)
+        return out
+
     # -- helpers -------------------------------------------------------
     @staticmethod
     def _program(test: "MarchTest | MarchProgram", width: int) -> "MarchProgram":

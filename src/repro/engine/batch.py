@@ -32,8 +32,22 @@ Per fault class:
 ``CFst`` / ``CFid`` / ``CFin``
     exact two-word (one-word when intra-word) subset simulation —
     O(op_count) per fault instead of O(op_count x n_words).
-``AF`` and anything unrecognised
+``AF``
+    same subset machinery over the decoder fault's support (the
+    addressed word plus its aliased partner): accesses to the faulty
+    address are lost, redirected or wired together exactly as in
+    :class:`~repro.memory.injection.FaultyMemory`, and no other word is
+    ever influenced, so the two-word replay is exact.
+anything unrecognised
     full-fidelity fallback through the reference interpreter.
+
+The *signature* oracle (two-phase transparent BIST, MISR compare) gets
+the same treatment through :meth:`BatchEngine.detect_signature_batch`:
+the fault-free read streams of both phases are recorded once per
+``(programs, content)``, the MISR's GF(2) linearity turns every read
+bit into a precomputed signature weight, and each fault only needs a
+subset replay over its own words to know which read bits it corrupts —
+O(op_count) per fault instead of two full O(op_count x n_words) runs.
 
 Single executions (:meth:`BatchEngine.run`) use the reference
 interpreter unchanged: the batch acceleration is campaign-level.
@@ -44,6 +58,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..memory.faults import (
+    AddressDecoderFault,
     CouplingFault,
     Fault,
     IdempotentCouplingFault,
@@ -108,6 +123,33 @@ class BatchEngine(Engine):
         ctx = _CampaignContext(program, n_words, words, derive_writes)
         return [ctx.detect(fault) for fault in faults]
 
+    def detect_signature_batch(
+        self,
+        test,
+        prediction,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: Sequence[Fault],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> list[bool]:
+        test_program = self._program(test, width)
+        prediction_program = self._program(prediction, width)
+        if not (test_program.derivable and prediction_program.derivable):
+            # The per-fault reference path raises ExecutionError at the
+            # first underivable write; only it reproduces that exactly.
+            return super().detect_signature_batch(
+                test_program, prediction_program, n_words, width, words,
+                faults, misr_width=misr_width, misr_seed=misr_seed,
+            )
+        ctx = _SignatureContext(
+            prediction_program, test_program, n_words, words,
+            misr_width, misr_seed,
+        )
+        return [ctx.detect(fault) for fault in faults]
+
 
 class _CampaignContext:
     """Shared per-(program, content) state of one campaign slice.
@@ -162,6 +204,11 @@ class _CampaignContext:
             return self._baseline_outside_addrs(
                 {fault.aggressor.addr, fault.victim.addr}
             )
+        if isinstance(fault, AddressDecoderFault):
+            support = _SubsetSim.support(fault)
+            if self._subset_detect(fault, support):
+                return True
+            return self._baseline_outside_addrs(support)
         return self._fallback(fault)
 
     def _pos(self, cell) -> int:
@@ -335,6 +382,41 @@ class _CampaignContext:
                         enforce()
         return False
 
+    # -- generic subset simulation (AF fast path) ----------------------
+    def _subset_detect(self, fault: Fault, addrs: tuple[int, ...]) -> bool:
+        """Exact replay of the program restricted to the fault's support
+        words through :class:`_SubsetSim`, with the compare oracle's
+        stop-at-first-mismatch verdict."""
+        sim = _SubsetSim(fault, {a: self.words[a] for a in addrs}, self.width)
+        snap = dict(sim.words)  # post static enforcement == run snapshot
+        derive = self.derive
+        ascending = sorted(addrs)
+        descending = ascending[::-1]
+        fetch = sim.fetch
+        store = sim.store
+        for element in self.program.elements:
+            ordered = descending if element.descending else ascending
+            steps = element.steps
+            for addr in ordered:
+                last_raw = 0
+                last_mask = 0
+                snap_word = snap[addr]
+                for is_read, relative, mask, _ok in steps:
+                    if is_read:
+                        raw = fetch(addr)
+                        if raw != ((snap_word ^ mask) if relative else mask):
+                            return True
+                        last_raw, last_mask = raw, mask
+                    else:
+                        if relative and derive:
+                            value = last_raw ^ last_mask ^ mask
+                        elif relative:
+                            value = snap_word ^ mask
+                        else:
+                            value = mask
+                        store(addr, value)
+        return False
+
     # -- fallback ------------------------------------------------------
     def _fallback(self, fault: Fault) -> bool:
         """Full-fidelity interpretation for fault kinds without a fast
@@ -349,6 +431,336 @@ class _CampaignContext:
             stop_on_mismatch=True,
             derive_writes=self.derive,
         ).detected
+
+
+# ---------------------------------------------------------------------------
+# Subset simulation: FaultyMemory semantics restricted to a fault's support
+# ---------------------------------------------------------------------------
+
+
+class _SubsetSim:
+    """Mirror of :class:`~repro.memory.injection.FaultyMemory` for one
+    classic fault, restricted to the word addresses the fault can
+    influence (its *support*).
+
+    Every classic fault model is word-confined: stuck-at, transition and
+    read-disturb faults live in one word, coupling faults in at most
+    two, and an address-decoder fault only ever loses, redirects or
+    wires accesses between its own address and its aliased partner.
+    Accesses to any other word behave exactly like the fault-free
+    baseline, so replaying the program on just the support words is an
+    exact simulation at O(op_count) instead of O(op_count x n_words).
+    """
+
+    __slots__ = (
+        "words", "mask",
+        "saf", "tf", "rdf", "cfst", "cfid", "cfin", "af",
+    )
+
+    def __init__(self, fault: Fault, words: dict[int, int], width: int) -> None:
+        self.words = words
+        self.mask = (1 << width) - 1
+        self.saf = fault if isinstance(fault, StuckAtFault) else None
+        self.tf = fault if isinstance(fault, TransitionFault) else None
+        self.rdf = fault if isinstance(fault, ReadDisturbFault) else None
+        self.cfst = fault if isinstance(fault, StateCouplingFault) else None
+        self.cfid = fault if isinstance(fault, IdempotentCouplingFault) else None
+        self.cfin = fault if isinstance(fault, InversionCouplingFault) else None
+        self.af = fault if isinstance(fault, AddressDecoderFault) else None
+        if not (self.saf or self.tf or self.rdf or self.cfst or self.cfid
+                or self.cfin or self.af):
+            raise ExecutionError(
+                f"no subset semantics for fault kind {fault.kind!r}"
+            )
+        self._enforce()  # loaded content already expresses the defect
+
+    @staticmethod
+    def support(fault: Fault) -> "tuple[int, ...] | None":
+        """Sorted word addresses the fault can influence, or ``None``
+        when the fault kind has no subset semantics (user-defined
+        models must take the full-fidelity fallback)."""
+        if isinstance(fault, AddressDecoderFault):
+            addrs = {fault.addr}
+            if fault.other_addr is not None:
+                addrs.add(fault.other_addr)
+            return tuple(sorted(addrs))
+        if isinstance(
+            fault,
+            (StuckAtFault, TransitionFault, ReadDisturbFault, CouplingFault),
+        ):
+            return tuple(sorted({cell.addr for cell in fault.cells}))
+        return None
+
+    # -- storage semantics (mirrors FaultyMemory._fetch/_store) --------
+    def fetch(self, addr: int) -> int:
+        af = self.af
+        if af is not None:
+            if af.addr != addr:
+                return self.words[addr]
+            code = af.kind_code
+            if code == "none":
+                return af.float_value & self.mask
+            if code == "other":
+                return self.words[af.other_addr]
+            a = self.words[addr]
+            b = self.words[af.other_addr]
+            return (a | b) if af.wired_or else (a & b)
+        rdf = self.rdf
+        if rdf is not None and rdf.cell.addr == addr:
+            value = self.words[addr]
+            flip = 1 << rdf.cell.bit
+            self.words[addr] = value ^ flip
+            return value if rdf.deceptive else value ^ flip
+        return self.words[addr]
+
+    def store(self, addr: int, value: int) -> None:
+        af = self.af
+        if af is not None:
+            if af.addr != addr:
+                self.words[addr] = value
+            elif af.kind_code == "other":
+                self.words[af.other_addr] = value
+            elif af.kind_code == "multi":
+                self.words[addr] = value
+                self.words[af.other_addr] = value
+            # "none": write lost, no cell selected
+            return
+        old = self.words[addr]
+        saf = self.saf
+        tf = self.tf
+        if saf is not None and saf.cell.addr == addr:
+            bit = saf.cell.bit
+            value = (value & ~(1 << bit)) | (saf.value << bit)
+        elif tf is not None and tf.cell.addr == addr:
+            bit = tf.cell.bit
+            old_b = (old >> bit) & 1
+            new_b = (value >> bit) & 1
+            blocked = (
+                (tf.rising and old_b == 0 and new_b == 1)
+                or (not tf.rising and old_b == 1 and new_b == 0)
+            )
+            if blocked:
+                value = (value & ~(1 << bit)) | (old_b << bit)
+        self.words[addr] = value
+        coupling = self.cfid or self.cfin
+        if coupling is not None and coupling.aggressor.addr == addr:
+            aggr_bit = coupling.aggressor.bit
+            a_old = (old >> aggr_bit) & 1
+            a_new = (value >> aggr_bit) & 1
+            if a_old != a_new and (a_new == 1) == coupling.rising:
+                victim = coupling.victim
+                vw = self.words[victim.addr]
+                if self.cfid is not None:
+                    self.words[victim.addr] = (
+                        vw & ~(1 << victim.bit)
+                    ) | (self.cfid.forced_value << victim.bit)
+                else:
+                    self.words[victim.addr] = vw ^ (1 << victim.bit)
+        if self.cfst is not None or saf is not None:
+            self._enforce()
+
+    def _enforce(self) -> None:
+        saf = self.saf
+        if saf is not None:
+            cell = saf.cell
+            self.words[cell.addr] = (
+                self.words[cell.addr] & ~(1 << cell.bit)
+            ) | (saf.value << cell.bit)
+        cfst = self.cfst
+        if cfst is not None:
+            aggr = cfst.aggressor
+            if ((self.words[aggr.addr] >> aggr.bit) & 1) == cfst.aggressor_value:
+                victim = cfst.victim
+                self.words[victim.addr] = (
+                    self.words[victim.addr] & ~(1 << victim.bit)
+                ) | (cfst.forced_value << victim.bit)
+
+
+# ---------------------------------------------------------------------------
+# Batched signature oracle
+# ---------------------------------------------------------------------------
+
+
+class _SignatureContext:
+    """Shared per-(programs, content) state of one signature-mode slice.
+
+    The two-phase session's verdict is ``predicted_signature !=
+    test_signature``.  Both signatures are GF(2)-linear in the absorbed
+    read streams, and a confined fault only perturbs reads of its
+    support words, so:
+
+    ``sig_faulty == sig_fault_free XOR delta`` where ``delta`` XORs the
+    precomputed linear weight of every read *bit* the fault corrupts
+    (:func:`repro.bist.misr.absorb_weight_table`).  The fault-free
+    streams and weights are computed once; each fault then costs one
+    O(op_count) subset replay of both phases.
+    """
+
+    def __init__(
+        self,
+        prediction: MarchProgram,
+        test: MarchProgram,
+        n_words: int,
+        words: Sequence[int],
+        misr_width: int,
+        misr_seed: int,
+    ) -> None:
+        from ..bist.misr import (
+            absorb_weight_table,
+            fold_table,
+            signature_of_stream,
+        )
+        from ..memory.model import Memory
+
+        if len(words) != n_words:
+            raise ExecutionError("initial content length does not match memory size")
+        self.prediction = prediction
+        self.test = test
+        self.n_words = n_words
+        self.width = test.width
+        self.words = [w & test.word_mask for w in words]
+        self.misr_width = misr_width
+        self.misr_seed = misr_seed
+
+        # Fault-free read streams of both phases, run back to back on
+        # one memory (a read-only prediction leaves it untouched, but a
+        # user-supplied prediction with writes carries state over — the
+        # controller does the same).
+        memory = Memory(n_words, self.width)
+        memory.load(self.words)
+        prediction_raw: list[int] = []
+        prediction_absorbed: list[int] = []
+
+        def _sink_prediction(rec) -> None:
+            prediction_raw.append(rec.raw)
+            prediction_absorbed.append(rec.raw ^ rec.mask_value)
+
+        execute_program(
+            prediction, memory, snapshot=self.words, read_sink=_sink_prediction
+        )
+        test_raw: list[int] = []
+        execute_program(
+            test,
+            memory,
+            snapshot=self.words,
+            read_sink=lambda rec: test_raw.append(rec.raw),
+        )
+        self.prediction_raw = prediction_raw
+        self.test_raw = test_raw
+        prediction_sig, n_pred = signature_of_stream(
+            prediction_absorbed, width=misr_width, seed=misr_seed
+        )
+        test_sig, n_test = signature_of_stream(
+            test_raw, width=misr_width, seed=misr_seed
+        )
+        # A fault is detected iff its two signature deltas differ by
+        # something other than the fault-free signature gap (zero for a
+        # well-formed transparent pair).
+        self.fault_free_gap = prediction_sig ^ test_sig
+        self.prediction_weights = absorb_weight_table(n_pred, misr_width)
+        self.test_weights = absorb_weight_table(n_test, misr_width)
+        self.fold_positions = fold_table(self.width, misr_width)
+
+    # -- per-fault dispatch --------------------------------------------
+    def detect(self, fault: Fault) -> bool:
+        fault.validate(self.n_words, self.width)
+        support = _SubsetSim.support(fault)
+        if support is None:
+            return self._fallback(fault)
+        sim = _SubsetSim(
+            fault, {a: self.words[a] for a in support}, self.width
+        )
+        delta = self._phase_delta(
+            self.prediction, sim, support, self.prediction_raw,
+            self.prediction_weights,
+        )
+        delta ^= self._phase_delta(
+            self.test, sim, support, self.test_raw, self.test_weights
+        )
+        return delta != self.fault_free_gap
+
+    def _phase_delta(
+        self,
+        program: MarchProgram,
+        sim: _SubsetSim,
+        addrs: tuple[int, ...],
+        fault_free_raw: Sequence[int],
+        weights: Sequence[Sequence[int]],
+    ) -> int:
+        """Subset replay of one phase, XOR-accumulating the signature
+        weights of every corrupted read bit.
+
+        The fault-free stream index of the *j*-th read of address *a*
+        in element *e* is ``base_e + position(a) * reads_e + j`` —
+        exactly the order the interpreter emits reads in.
+        """
+        delta = 0
+        n_words = self.n_words
+        fold_positions = self.fold_positions
+        ascending = sorted(addrs)
+        descending = ascending[::-1]
+        fetch = sim.fetch
+        store = sim.store
+        base = 0
+        for element in program.elements:
+            steps = element.steps
+            n_reads = element.n_reads
+            if element.descending:
+                ordered = descending
+            else:
+                ordered = ascending
+            for addr in ordered:
+                position = (n_words - 1 - addr) if element.descending else addr
+                k = base + position * n_reads
+                last_raw = 0
+                last_mask = 0
+                for is_read, relative, mask, _ok in steps:
+                    if is_read:
+                        raw = fetch(addr)
+                        err = raw ^ fault_free_raw[k]
+                        if err:
+                            weight = weights[k]
+                            bit = 0
+                            while err:
+                                if err & 1:
+                                    delta ^= weight[fold_positions[bit]]
+                                err >>= 1
+                                bit += 1
+                        last_raw, last_mask = raw, mask
+                        k += 1
+                    else:
+                        value = (
+                            (last_raw ^ last_mask ^ mask) if relative else mask
+                        )
+                        store(addr, value)
+            base += n_reads * n_words
+        return delta
+
+    # -- fallback ------------------------------------------------------
+    def _fallback(self, fault: Fault) -> bool:
+        """Full-fidelity two-phase session for fault kinds without
+        subset semantics (user-defined models)."""
+        from ..bist.misr import Misr
+        from ..memory.injection import FaultyMemory
+
+        memory = FaultyMemory(self.n_words, self.width, [fault])
+        memory.load(self.words)
+        snapshot = memory.snapshot()
+        predict_misr = Misr(self.misr_width, self.misr_seed)
+        execute_program(
+            self.prediction,
+            memory,
+            snapshot=snapshot,
+            read_sink=lambda rec: predict_misr.absorb(rec.raw ^ rec.mask_value),
+        )
+        test_misr = Misr(self.misr_width, self.misr_seed)
+        execute_program(
+            self.test,
+            memory,
+            snapshot=snapshot,
+            read_sink=lambda rec: test_misr.absorb(rec.raw),
+        )
+        return predict_misr.signature != test_misr.signature
 
 
 register_engine(BatchEngine())

@@ -1,0 +1,287 @@
+"""Sharded parallel campaign execution across worker processes.
+
+A compare- or signature-oracle campaign slice is embarrassingly
+parallel: every fault is simulated alone against the same immutable
+``(test, content)`` context, so a per-class fault list can be split
+into contiguous chunks and evaluated on separate processes with no
+shared state.  This module provides
+
+* :class:`CompareWork` / :class:`SignatureWork` — picklable work-unit
+  descriptions (the flow structure minus the faults), executable
+  against any registered engine;
+* :class:`CampaignRunner` — a process-pool wrapper that shards a fault
+  class, dispatches chunks, and merges verdicts deterministically.
+
+Determinism contract
+--------------------
+
+``jobs=1`` and ``jobs=N`` produce bit-identical coverage vectors and
+stable report ordering, by construction:
+
+* all randomness (initial memory content, fault-universe sampling) is
+  resolved from the campaign seed *before* sharding — the work unit
+  carries the concrete word list, and fault enumeration order is fixed
+  by the universe builder;
+* chunk boundaries depend only on ``(len(faults), jobs)``, never on
+  timing; because the enumerators emit faults in address order,
+  contiguous chunks are address-range shards;
+* verdicts are merged back in submission order (chunk *i*'s verdicts
+  land before chunk *i+1*'s), recovering the exact sequential order.
+
+Workers are forked when the platform allows it, so custom engines
+registered in the parent are visible in the children; on spawn-only
+platforms the chunk worker re-resolves the engine by name from the
+registry the fresh interpreter builds at import.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .base import Engine, engine_names, get_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.march import MarchTest
+    from ..memory.faults import Fault
+
+
+@dataclass(frozen=True)
+class CompareWork:
+    """One compare-oracle campaign context: everything an engine's
+    :meth:`~repro.engine.Engine.detect_batch` needs except the faults."""
+
+    test: "MarchTest"
+    n_words: int
+    width: int
+    words: tuple[int, ...]
+    derive_writes: bool = True
+
+    def run(self, engine: Engine, faults: "Sequence[Fault]") -> list[bool]:
+        return engine.detect_batch(
+            self.test,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            derive_writes=self.derive_writes,
+        )
+
+
+@dataclass(frozen=True)
+class SignatureWork:
+    """One signature-oracle campaign context (two-phase MISR session)."""
+
+    test: "MarchTest"
+    prediction: "MarchTest"
+    n_words: int
+    width: int
+    words: tuple[int, ...]
+    misr_width: int = 16
+    misr_seed: int = 0
+
+    def run(self, engine: Engine, faults: "Sequence[Fault]") -> list[bool]:
+        return engine.detect_signature_batch(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            misr_width=self.misr_width,
+            misr_seed=self.misr_seed,
+        )
+
+
+def _run_chunk(engine_name, work, faults):
+    """Worker entry point: evaluate one fault chunk (module-level so it
+    pickles under both fork and spawn start methods)."""
+    return work.run(get_engine(engine_name), faults)
+
+
+# Campaign state inherited by forked workers.  Binding the work unit
+# and every fault class here *before* the pool forks lets chunks travel
+# as bare (class_name, start, stop) index triples — the fault objects
+# reach the workers through copy-on-write memory instead of being
+# pickled through a pipe, which would otherwise rival the per-fault
+# simulation cost itself.  One campaign at a time per process: the
+# generation token makes a stale binding (a second runner re-binding
+# before this runner's pool forks) a loud error instead of silently
+# wrong verdicts.
+_BOUND: "tuple[int, object, dict[str, list]] | None" = None
+_BIND_GENERATION = 0
+
+
+def _bind(work, classes) -> int:
+    global _BOUND, _BIND_GENERATION
+    _BIND_GENERATION += 1
+    _BOUND = None if work is None else (_BIND_GENERATION, work, classes)
+    return _BIND_GENERATION
+
+
+def _run_bound_chunk(engine_name, token, class_name, start, stop):
+    """Worker entry point for the fork path: slice the inherited class."""
+    if _BOUND is None or _BOUND[0] != token:
+        raise RuntimeError(
+            "campaign binding changed after the worker pool forked; "
+            "bind() must precede detect_class() and bound campaigns "
+            "must not interleave within one process"
+        )
+    _token, work, classes = _BOUND
+    return work.run(get_engine(engine_name), classes[class_name][start:stop])
+
+
+def shard_bounds(n_faults: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` chunk bounds.
+
+    Sizes differ by at most one, larger chunks first; depends only on
+    the arguments, so the shard layout is reproducible.
+    """
+    n_chunks = max(1, min(n_chunks, n_faults)) if n_faults else 0
+    bounds = []
+    start = 0
+    for i in range(n_chunks):
+        size = n_faults // n_chunks + (1 if i < n_faults % n_chunks else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the engine registry); fall back to
+    the platform default where fork does not exist."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class CampaignRunner:
+    """Shards per-class fault lists across a process pool.
+
+    The pool is created lazily on the first class large enough to
+    shard and reused for every subsequent class of the campaign, so
+    worker startup is amortized across the whole universe.  Classes
+    smaller than ``min_chunk * 2`` run inline — the per-chunk context
+    rebuild (bit-plane passes, fault-free streams) would otherwise cost
+    more than the parallelism returns.
+    """
+
+    def __init__(
+        self,
+        engine: "str | Engine | None" = None,
+        jobs: int = 1,
+        *,
+        chunks_per_job: int = 4,
+        min_chunk: int = 64,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.engine = get_engine(engine)
+        # An unregistered engine instance cannot be rehydrated by name
+        # in a worker; run it inline instead of crashing mid-campaign.
+        self.jobs = jobs if self.engine.name in engine_names() else 1
+        self.chunks_per_job = chunks_per_job
+        self.min_chunk = min_chunk
+        self._context = _pool_context()
+        self._pool: ProcessPoolExecutor | None = None
+        self._bound_classes: "dict[str, list[Fault]] | None" = None
+        self._bound_token: int | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._bound_classes is not None:
+            self._bound_classes = None
+            # Only clear the global if this runner still owns it — a
+            # later runner's binding must survive this one's close().
+            if _BOUND is not None and _BOUND[0] == self._bound_token:
+                _bind(None, None)
+            self._bound_token = None
+
+    def bind(self, work, universe: "dict[str, Sequence[Fault]]") -> None:
+        """Pre-bind a whole campaign so forked workers inherit the
+        fault classes copy-on-write and chunks travel as index triples.
+
+        Must be called before the first :meth:`detect_class` (the pool
+        forks lazily and snapshots the bound state).  Without a bind —
+        or on spawn-only platforms — chunks fall back to carrying their
+        pickled fault lists, which is merely slower, not wrong.
+        """
+        self.close()
+        if self._context.get_start_method() != "fork":
+            return  # spawned workers would not see the parent's global
+        self._bound_classes = {
+            name: list(faults) for name, faults in universe.items()
+        }
+        self._bound_token = _bind(work, self._bound_classes)
+
+    # -- execution -----------------------------------------------------
+    def detect_class(
+        self,
+        work,
+        faults: "Sequence[Fault]",
+        *,
+        class_name: str | None = None,
+    ) -> list[bool]:
+        """Verdicts for one fault class, bit-identical to
+        ``work.run(engine, faults)`` executed sequentially.
+
+        When *class_name* names a class of a prior :meth:`bind`, the
+        bound copy is what the workers evaluate (zero-copy fork path).
+        """
+        bound = (
+            self._bound_classes is not None
+            and class_name is not None
+            and class_name in self._bound_classes
+        )
+        faults = (
+            self._bound_classes[class_name] if bound else list(faults)
+        )
+        if self.jobs == 1 or len(faults) < 2 * self.min_chunk:
+            return work.run(self.engine, faults)
+        n_chunks = min(
+            self.jobs * self.chunks_per_job,
+            max(1, len(faults) // self.min_chunk),
+        )
+        bounds = shard_bounds(len(faults), n_chunks)
+        if len(bounds) <= 1:
+            return work.run(self.engine, faults)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=self._context
+            )
+        if bound:
+            futures = [
+                self._pool.submit(
+                    _run_bound_chunk, self.engine.name, self._bound_token,
+                    class_name, start, stop,
+                )
+                for start, stop in bounds
+            ]
+        else:
+            futures = [
+                self._pool.submit(
+                    _run_chunk, self.engine.name, work, faults[start:stop]
+                )
+                for start, stop in bounds
+            ]
+        verdicts: list[bool] = []
+        for future in futures:  # submission order == fault order
+            verdicts.extend(future.result())
+        if len(verdicts) != len(faults):
+            raise RuntimeError(
+                f"sharded class returned {len(verdicts)} verdicts for "
+                f"{len(faults)} faults; refusing to report truncated coverage"
+            )
+        return verdicts

@@ -288,11 +288,17 @@ def standard_fault_universe(
     *,
     max_inter_pairs: int | None = None,
     rng: random.Random | None = None,
+    include_rdf: bool = False,
+    include_af: bool = False,
 ) -> dict[str, list[Fault]]:
     """The Section 2 fault universe grouped by class name.
 
     Keys: ``SAF``, ``TF``, ``CFst-intra``, ``CFid-intra``, ``CFin-intra``,
-    ``CFst-inter``, ``CFid-inter``, ``CFin-inter``.
+    ``CFst-inter``, ``CFid-inter``, ``CFin-inter``; with
+    ``include_rdf`` also ``RDF`` and ``DRDF``, with ``include_af`` also
+    ``AF`` (the extension classes of benchmark E8 — off by default so
+    the Section 5 equality experiments keep their historical class
+    set).
     """
     universe: dict[str, list[Fault]] = {
         "SAF": list(enumerate_stuck_at(n_words, width)),
@@ -307,4 +313,13 @@ def standard_fault_universe(
                 n_words, width, (kind,), max_pairs=max_inter_pairs, rng=rng
             )
         )
+    if include_rdf:
+        universe["RDF"] = list(
+            enumerate_read_disturb(n_words, width, deceptive=False)
+        )
+        universe["DRDF"] = list(
+            enumerate_read_disturb(n_words, width, deceptive=True)
+        )
+    if include_af:
+        universe["AF"] = list(enumerate_address_faults(n_words))
     return universe

@@ -11,22 +11,26 @@ import random
 
 import pytest
 
-from repro.analysis.coverage import compare_flow, run_campaign
+from repro.analysis.coverage import compare_flow, run_campaign, signature_flow
 from repro.bist.executor import run_march
+from repro.bist.misr import Misr, absorb_weight_table, fold_table, signature_of_stream
 from repro.core.notation import parse_march
 from repro.core.twm import nontransparent_word_reference, twm_transform
 from repro.engine import (
     BatchEngine,
+    CampaignRunner,
     ExecutionError,
     MarchProgram,
     ReferenceEngine,
     compile_march,
     engine_names,
     get_engine,
+    shard_bounds,
 )
+from repro.engine import batch as batch_module
 from repro.engine.program import pack_words, replicate_mask
 from repro.library import catalog
-from repro.memory.faults import Cell, StuckAtFault
+from repro.memory.faults import Cell, Fault, StuckAtFault
 from repro.memory.injection import (
     FaultyMemory,
     enumerate_address_faults,
@@ -281,6 +285,291 @@ class TestCampaignReportExtras:
         # Stats name the backend that actually ran, not the requested one.
         assert a.engine == "batch" and a.stats["SAF"].engine == "batch"
         assert b.engine is None and b.stats["SAF"].engine == "flow"
+
+
+class TestAddressFaultFastPath:
+    """The AF class takes the subset fast path, never the interpreter."""
+
+    def test_af_never_hits_reference_fallback(self, monkeypatch):
+        def boom(self, fault):
+            raise AssertionError(f"reference fallback hit for {fault}")
+
+        monkeypatch.setattr(batch_module._CampaignContext, "_fallback", boom)
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(N_WORDS, 4, 5)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=None, seed=5)
+        report = run_campaign(flow, universe, engine="batch")
+        assert report.total == sum(len(f) for f in universe.values())
+
+    def test_unknown_fault_kind_still_falls_back(self):
+        class WeirdFault(Fault):
+            @property
+            def cells(self):
+                return ()
+
+            @property
+            def kind(self):
+                return "WEIRD"
+
+            def describe(self):
+                return "WEIRD"
+
+            def validate(self, n_words, width):
+                pass
+
+        twm = twm_transform(catalog.get("March C-"), 4)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        # The interpreter sees an ordinary fault-free memory, so the
+        # fallback verdict must be "not detected" for both oracles.
+        verdicts = get_engine("batch").detect_batch(
+            flow.test, N_WORDS, 4, flow.words, [WeirdFault()]
+        )
+        assert verdicts == [False]
+        sig = get_engine("batch").detect_signature_batch(
+            twm.twmarch, twm.prediction, N_WORDS, 4, flow.words, [WeirdFault()]
+        )
+        assert sig == [False]
+
+    @pytest.mark.parametrize("wired_or", [False, True])
+    def test_af_wiring_variants_match_reference(self, wired_or):
+        twm = twm_transform(catalog.get("March U"), 4)
+        universe = {
+            "AF": list(enumerate_address_faults(4, wired_or=wired_or))
+        }
+        flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=29)
+        ref = run_campaign(flow, universe, engine="reference")
+        bat = run_campaign(flow, universe, engine="batch")
+        assert ref.coverage_vector() == bat.coverage_vector()
+        assert ref.undetected == bat.undetected
+
+
+class TestSignatureBatchEquivalence:
+    """Batched MISR oracle vs the per-fault TransparentBist session."""
+
+    def make_flow(self, name, n_words, width, seed, misr_width=8):
+        twm = twm_transform(catalog.get(name), width)
+        return signature_flow(
+            twm.twmarch,
+            twm.prediction,
+            n_words,
+            width,
+            misr_width=misr_width,
+            initial=None,
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("name", catalog.names())
+    def test_catalog_equivalence(self, name):
+        flow = self.make_flow(name, N_WORDS, 4, seed=sum(map(ord, name)) % 499)
+        universe = small_universe(N_WORDS, 4, 7)
+        per_fault = run_campaign(flow, universe)
+        ref = run_campaign(flow, universe, engine="reference")
+        bat = run_campaign(flow, universe, engine="batch")
+        assert (
+            per_fault.coverage_vector()
+            == ref.coverage_vector()
+            == bat.coverage_vector()
+        )
+        assert per_fault.undetected == ref.undetected == bat.undetected
+
+    @pytest.mark.parametrize("misr_width", [1, 4, 16])
+    def test_misr_widths(self, misr_width):
+        # Narrow registers alias aggressively; wide ones fold word bits.
+        flow = self.make_flow("March C-", 4, 8, seed=3, misr_width=misr_width)
+        universe = small_universe(4, 8, 3)
+        ref = run_campaign(flow, universe, engine="reference")
+        bat = run_campaign(flow, universe, engine="batch")
+        assert ref.coverage_vector() == bat.coverage_vector()
+        assert ref.undetected == bat.undetected
+
+    def test_misr_seed_respected(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = {"SAF": small_universe(N_WORDS, 4, 0)["SAF"]}
+        for seed in (0, 0x5A):
+            flow = signature_flow(
+                twm.twmarch, twm.prediction, N_WORDS, 4,
+                misr_width=8, misr_seed=seed, initial=0,
+            )
+            ref = run_campaign(flow, universe, engine="reference")
+            bat = run_campaign(flow, universe, engine="batch")
+            assert ref.coverage_vector() == bat.coverage_vector()
+
+    def test_underivable_test_raises_in_both(self):
+        bad = parse_march("⇕(rc); ⇕(wc); ⇕(wc)", name="bad2")
+        # Second element's write has no feeding read -> underivable.
+        assert not compile_march(bad, 4).derivable
+        prediction = parse_march("⇕(rc)", name="bad2-sp")
+        faults = [StuckAtFault(Cell(0, 0), 1)]
+        for engine in ("reference", "batch"):
+            with pytest.raises(ExecutionError, match="no preceding read"):
+                get_engine(engine).detect_signature_batch(
+                    bad, prediction, 2, 4, [0, 0], faults
+                )
+
+
+class TestShardedCampaigns:
+    """jobs=1 and jobs=N produce bit-identical campaign reports."""
+
+    def reports_equal(self, a, b):
+        assert a.coverage_vector() == b.coverage_vector()
+        assert list(a.classes) == list(b.classes)
+        assert a.undetected == b.undetected
+        assert {n: s.total for n, s in a.stats.items()} == {
+            n: s.total for n, s in b.stats.items()
+        }
+
+    def test_compare_jobs_identical(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(4, 4, 19)
+        flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=19)
+        seq = run_campaign(flow, universe, engine="batch", jobs=1)
+        par = run_campaign(flow, universe, engine="batch", jobs=4)
+        self.reports_equal(seq, par)
+        assert seq.jobs == 1 and par.jobs == 4
+
+    def test_signature_jobs_identical(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(4, 4, 23)
+        flow = signature_flow(
+            twm.twmarch, twm.prediction, 4, 4, misr_width=8,
+            initial=None, seed=23,
+        )
+        seq = run_campaign(flow, universe, engine="batch", jobs=1)
+        par = run_campaign(flow, universe, engine="batch", jobs=4)
+        self.reports_equal(seq, par)
+
+    def test_empty_universe(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        report = run_campaign(flow, {}, engine="batch", jobs=4)
+        assert report.classes == {} and report.total == 0
+        assert report.percent == 100.0
+
+    def test_single_fault_class(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = {"SAF": small_universe(N_WORDS, 4, 2)["SAF"]}
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        seq = run_campaign(flow, universe, engine="batch", jobs=1)
+        par = run_campaign(flow, universe, engine="batch", jobs=4)
+        self.reports_equal(seq, par)
+
+    def test_forced_sharding_matches_sequential(self):
+        # min_chunk small enough that the pool really splits the class.
+        twm = twm_transform(catalog.get("March U"), 4)
+        universe = small_universe(4, 4, 31)
+        flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=31)
+        work = flow.work_unit()
+        with CampaignRunner("batch", 3, min_chunk=4) as runner:
+            runner.bind(work, universe)
+            for name, faults in universe.items():
+                sharded = runner.detect_class(work, faults, class_name=name)
+                assert sharded == work.run(get_engine("batch"), faults), name
+
+    def test_shard_bounds_partition(self):
+        for n, chunks in [(0, 4), (1, 4), (7, 3), (100, 8), (8, 8), (5, 9)]:
+            bounds = shard_bounds(n, chunks)
+            covered = [i for start, stop in bounds for i in range(start, stop)]
+            assert covered == list(range(n)), (n, chunks)
+
+    def test_runner_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            CampaignRunner("batch", 0)
+
+    def test_unregistered_engine_runs_inline(self):
+        class Anon(BatchEngine):
+            name = "anonymous-not-registered"
+
+        runner = CampaignRunner(Anon(), jobs=4)
+        assert runner.jobs == 1  # cannot rehydrate by name in a worker
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = {"SAF": small_universe(N_WORDS, 4, 2)["SAF"]}
+        flow = compare_flow(twm.twmarch, N_WORDS, 4, initial=0)
+        report = run_campaign(flow, universe, engine=Anon(), jobs=4)
+        # The report records what actually ran, not what was requested.
+        assert report.jobs == 1
+
+    def test_stale_binding_raises_instead_of_corrupting(self):
+        from repro.engine import parallel as parallel_module
+
+        if parallel_module._pool_context().get_start_method() != "fork":
+            pytest.skip("zero-copy binding requires fork")
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = small_universe(4, 4, 11)
+        flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=11)
+        work = flow.work_unit()
+        first = CampaignRunner("batch", 2, min_chunk=4)
+        second = CampaignRunner("batch", 2, min_chunk=4)
+        try:
+            first.bind(work, universe)
+            second.bind(work, {"SAF": universe["SAF"][:6]})  # clobbers
+            with pytest.raises(RuntimeError, match="binding changed"):
+                first.detect_class(
+                    work, universe["CFst-intra"], class_name="CFst-intra"
+                )
+        finally:
+            first.close()
+            second.close()
+
+
+class TestMisrHelpers:
+    """Micro-optimised MISR loop and the linear-weight machinery."""
+
+    def test_absorb_all_matches_absorb(self):
+        rng = random.Random(5)
+        stream = [rng.randrange(1 << 24) for _ in range(200)]
+        one = Misr(16, seed=3)
+        for value in stream:
+            one.absorb(value)
+        bulk = Misr(16, seed=3)
+        bulk.absorb_all(stream)
+        assert bulk.signature == one.signature
+        assert bulk.absorbed == one.absorbed == 200
+
+    def test_negative_inputs_terminate_and_match_absorb(self):
+        # Regression: the rewritten fold loop must keep the historical
+        # two's-complement-magnitude interpretation of negative inputs
+        # instead of shifting forever.
+        assert Misr(16).fold(-5) == 3
+        one = Misr(8, seed=2)
+        one.absorb(-5)
+        bulk = Misr(8, seed=2)
+        bulk.absorb_all([-5])
+        assert bulk.signature == one.signature
+
+    def test_signature_of_stream(self):
+        stream = [1, 2, 3, 4, 5]
+        signature, n = signature_of_stream(stream, width=8, seed=1)
+        misr = Misr(8, seed=1)
+        misr.absorb_all(stream)
+        assert (signature, n) == (misr.signature, 5)
+
+    def test_fold_table(self):
+        assert fold_table(8, 16) == tuple(range(8))
+        assert fold_table(8, 3) == (0, 1, 2, 0, 1, 2, 0, 1)
+
+    @pytest.mark.parametrize("width", [1, 4, 8, 16])
+    def test_weight_table_reconstructs_error_signatures(self, width):
+        # signature(faulty) == signature(fault-free) XOR the weights of
+        # every corrupted input bit — the linearity the batched
+        # signature oracle rests on.
+        rng = random.Random(width)
+        n = 37
+        clean = [rng.randrange(1 << width) for _ in range(n)]
+        errors = {
+            rng.randrange(n): rng.randrange(1, 1 << width) for _ in range(6)
+        }
+        dirty = [
+            value ^ errors.get(k, 0) for k, value in enumerate(clean)
+        ]
+        weights = absorb_weight_table(n, width)
+        delta = 0
+        for k, err in errors.items():
+            for b in range(width):
+                if (err >> b) & 1:
+                    delta ^= weights[k][b]
+        clean_sig, _ = signature_of_stream(clean, width=width, seed=7)
+        dirty_sig, _ = signature_of_stream(dirty, width=width, seed=7)
+        assert dirty_sig == clean_sig ^ delta
 
 
 class TestInitialWordsMasking:
