@@ -1,12 +1,14 @@
-"""Engine speedup benchmark: reference vs batch vs batch+jobs, both oracles.
+"""Engine speedup benchmark: reference vs batch vs batch+jobs, all oracles.
 
 Two workloads of the E7 coverage campaign (TWMarch of the chosen test,
 the Section 2 universe plus the RDF/DRDF/AF extension classes):
 
 * **base** — small enough for the op-by-op reference interpreter; runs
-  ``reference`` and ``batch`` through both the compare oracle and the
-  two-phase MISR signature oracle, checking bit-identical coverage
-  vectors and reporting the batch speedup.
+  ``reference`` and ``batch`` through the compare oracle, the two-phase
+  MISR signature oracle and the pair-verdict aliasing oracle, checking
+  bit-identical coverage (and aliasing) vectors and reporting the batch
+  speedup.  The aliasing legs carry an aliasing-rate column (the
+  percentage of stream-detected faults the MISR signature missed).
 * **scaled** — the production-sized memory (>= 64 words by default)
   that only the batch paths can afford; runs single-process ``batch``
   against ``batch + jobs`` (process-sharded campaign runner) per
@@ -37,7 +39,12 @@ import random
 import time
 from unittest import mock
 
-from repro.analysis.coverage import compare_flow, run_campaign, signature_flow
+from repro.analysis.coverage import (
+    aliasing_flow,
+    compare_flow,
+    run_campaign,
+    signature_flow,
+)
 from repro.core.twm import twm_transform
 from repro.engine import compile_march
 from repro.engine import batch as batch_module
@@ -54,7 +61,10 @@ class _FallbackCounter:
     def __init__(self) -> None:
         self.calls = 0
         self._compare = batch_module._CampaignContext._fallback
-        self._signature = batch_module._SignatureContext._fallback
+        # The signature-only fallback delegates to the pair fallback,
+        # so wrapping the pair entry point counts both the signature
+        # and the aliasing oracle exactly once per fallback.
+        self._signature = batch_module._SignatureContext._fallback_pair
 
     def __enter__(self) -> "_FallbackCounter":
         counter = self
@@ -72,7 +82,7 @@ class _FallbackCounter:
                 batch_module._CampaignContext, "_fallback", compare
             ),
             mock.patch.object(
-                batch_module._SignatureContext, "_fallback", signature
+                batch_module._SignatureContext, "_fallback_pair", signature
             ),
         ]
         for patch in self._patches:
@@ -107,6 +117,27 @@ def build_workload(args, n_words: int):
             initial=None,
             seed=args.seed,
         ),
+        "aliasing": aliasing_flow(
+            twm.twmarch,
+            twm.prediction,
+            n_words,
+            args.width,
+            misr_width=args.misr_width,
+            initial=None,
+            seed=args.seed,
+        ),
+        # A deliberately narrow register aliases at a measurable rate,
+        # so the aliasing-rate column is exercised with non-zero values
+        # (a 16-bit MISR aliases at ~2**-16 — rarely within one run).
+        "aliasing_narrow": aliasing_flow(
+            twm.twmarch,
+            twm.prediction,
+            n_words,
+            args.width,
+            misr_width=args.narrow_misr_width,
+            initial=None,
+            seed=args.seed,
+        ),
     }
     return twm, universe, flows
 
@@ -122,12 +153,17 @@ def measure(flow, universe, engine, jobs, repeats):
     return best, report
 
 
-def leg(seconds: float, n_faults: int, total_ops: int) -> dict:
-    return {
+def leg(seconds: float, n_faults: int, total_ops: int, report=None) -> dict:
+    out = {
         "seconds": round(seconds, 6),
         "faults_per_sec": round(n_faults / seconds, 1),
         "ops_per_sec": round(total_ops / seconds, 1),
     }
+    if report is not None and report.has_pair_verdicts:
+        # Aliasing-rate column: stream-detected faults the signature
+        # missed, as a percentage of the whole universe.
+        out["aliased_percent"] = round(report.aliased_percent, 4)
+    return out
 
 
 def main(argv=None) -> int:
@@ -142,6 +178,10 @@ def main(argv=None) -> int:
                         "per-fault subset work dominates and sharding pays")
     parser.add_argument("--max-inter-pairs", type=int, default=24)
     parser.add_argument("--misr-width", type=int, default=16)
+    parser.add_argument("--narrow-misr-width", type=int, default=2,
+                        help="MISR width of the aliasing_narrow leg; "
+                        "narrow registers alias measurably, proving the "
+                        "aliasing-rate column is live")
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument(
@@ -187,11 +227,14 @@ def main(argv=None) -> int:
             bat_seconds, bat_report = measure(
                 flow, universe, "batch", 1, args.repeats
             )
-        identical = ref_report.coverage_vector() == bat_report.coverage_vector()
+        identical = (
+            ref_report.coverage_vector() == bat_report.coverage_vector()
+            and ref_report.aliasing_vector() == bat_report.aliasing_vector()
+        )
         ok &= identical and fallbacks.calls == 0
         base["modes"][mode] = {
-            "reference": leg(ref_seconds, n_faults, total_ops),
-            "batch": leg(bat_seconds, n_faults, total_ops),
+            "reference": leg(ref_seconds, n_faults, total_ops, ref_report),
+            "batch": leg(bat_seconds, n_faults, total_ops, bat_report),
             "speedup_batch_vs_reference": round(ref_seconds / bat_seconds, 2),
             "vectors_identical": identical,
             "batch_reference_fallbacks": fallbacks.calls,
@@ -209,6 +252,8 @@ def main(argv=None) -> int:
         "modes": {},
     }
     for mode, flow in flows.items():
+        if mode == "aliasing_narrow":
+            continue  # shards exactly like "aliasing"; skip the rerun
         # The counter only sees this process, so it wraps the
         # single-process leg; the jobs leg executes the identical
         # per-chunk code path in its workers.
@@ -221,12 +266,13 @@ def main(argv=None) -> int:
         )
         identical = (
             bat_report.coverage_vector() == par_report.coverage_vector()
+            and bat_report.aliasing_vector() == par_report.aliasing_vector()
             and bat_report.undetected == par_report.undetected
         )
         ok &= identical and fallbacks.calls == 0
         scaled["modes"][mode] = {
-            "batch": leg(bat_seconds, n_faults, total_ops),
-            "batch_jobs": leg(par_seconds, n_faults, total_ops),
+            "batch": leg(bat_seconds, n_faults, total_ops, bat_report),
+            "batch_jobs": leg(par_seconds, n_faults, total_ops, par_report),
             "speedup_jobs_vs_batch": round(bat_seconds / par_seconds, 2),
             "reports_identical": identical,
             "batch_reference_fallbacks": fallbacks.calls,

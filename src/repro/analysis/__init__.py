@@ -1,6 +1,7 @@
 """Analysis instruments: state graphs, coverage campaigns, tables."""
 
 from .coverage import (
+    AliasingFlow,
     CampaignReport,
     ClassCoverage,
     CompareFlow,
@@ -30,6 +31,7 @@ from .states import (
 from .symbolic import SymbolicRow, symbolic_rows, table1_rows
 
 __all__ = [
+    "AliasingFlow",
     "CampaignReport",
     "CellObservation",
     "ClassCoverage",

@@ -8,16 +8,26 @@ behind the paper's Section 5 coverage-equality theorem (benchmark E7).
 
 Campaigns can be executed through a pluggable simulation engine
 (``run_campaign(..., engine="batch")``): when the flow is a
-structure-carrying :class:`CompareFlow` or :class:`SignatureFlow`, the
-whole per-class fault sweep is handed to
+structure-carrying :class:`CompareFlow`, :class:`SignatureFlow` or
+:class:`AliasingFlow`, the whole per-class fault sweep is handed to
 :meth:`repro.engine.Engine.detect_batch` /
-:meth:`repro.engine.Engine.detect_signature_batch`, which the
+:meth:`repro.engine.Engine.detect_signature_batch` /
+:meth:`repro.engine.Engine.detect_aliasing_batch`, which the
 vectorized batch backend evaluates word-parallel instead of op-by-op.
 With ``jobs=N`` the per-class sweeps are additionally sharded across
 worker processes (:class:`repro.engine.CampaignRunner`) and merged
 back deterministically — ``jobs=1`` and ``jobs=N`` produce
 bit-identical reports.  Every engine is equivalence-tested to produce
 bit-identical coverage vectors (see ``tests/test_engine.py``).
+
+An :class:`AliasingFlow` campaign counts *pair verdicts*: each fault
+reports ``(stream_detected, signature_detected)``, so the per-class
+coverage additionally carries how many faults the ideal compare oracle
+saw and how many of those *aliased* in the MISR (stream-detected but
+signature-missed) — the Section 5 quantity of interest.  Verdicts are
+normalized strictly: a bare callable flow must return real booleans,
+and anything else (notably a tuple, which is always truthy) raises
+``TypeError`` instead of silently counting as detected.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from ..bist.controller import TransparentBist
 from ..bist.executor import run_march
 from ..core.march import MarchTest
 from ..engine import (
+    AliasingWork,
     CampaignRunner,
     CompareWork,
     Engine,
@@ -41,15 +52,25 @@ from ..memory.faults import Fault
 from ..memory.injection import FaultyMemory
 
 Flow = Callable[[Fault], bool]
+PairVerdict = tuple[bool, bool]
 
 
 @dataclass(frozen=True)
 class ClassCoverage:
-    """Detection statistics for one fault class."""
+    """Detection statistics for one fault class.
+
+    ``detected`` counts the campaign's primary oracle (the signature
+    verdict for a pair-verdict aliasing campaign).  Pair-verdict
+    campaigns additionally fill ``stream_detected`` (faults the ideal
+    alias-free compare oracle saw) and ``aliased`` (stream-detected but
+    signature-missed); both stay ``None`` for single-verdict flows.
+    """
 
     name: str
     total: int
     detected: int
+    stream_detected: int | None = None
+    aliased: int | None = None
 
     @property
     def missed(self) -> int:
@@ -59,8 +80,21 @@ class ClassCoverage:
     def percent(self) -> float:
         return 100.0 * self.detected / self.total if self.total else 100.0
 
+    @property
+    def aliased_percent(self) -> float:
+        """Aliasing rate of the class (0.0 for single-verdict flows)."""
+        if not self.aliased or not self.total:
+            return 0.0
+        return 100.0 * self.aliased / self.total
+
     def render(self) -> str:
-        return f"{self.name}: {self.detected}/{self.total} ({self.percent:.2f}%)"
+        line = f"{self.name}: {self.detected}/{self.total} ({self.percent:.2f}%)"
+        if self.aliased is not None:
+            line += (
+                f", stream {self.stream_detected}/{self.total}"
+                f", aliased {self.aliased} ({self.aliased_percent:.2f}%)"
+            )
+        return line
 
 
 @dataclass(frozen=True)
@@ -101,11 +135,40 @@ class CampaignReport:
         return 100.0 * self.detected / self.total if self.total else 100.0
 
     @property
+    def has_pair_verdicts(self) -> bool:
+        """True when at least one class carries aliasing statistics."""
+        return any(c.aliased is not None for c in self.classes.values())
+
+    @property
+    def stream_detected(self) -> int:
+        return sum(c.stream_detected or 0 for c in self.classes.values())
+
+    @property
+    def aliased(self) -> int:
+        return sum(c.aliased or 0 for c in self.classes.values())
+
+    @property
+    def aliased_percent(self) -> float:
+        """Overall aliasing rate over the pair-verdict classes."""
+        total = sum(
+            c.total for c in self.classes.values() if c.aliased is not None
+        )
+        return 100.0 * self.aliased / total if total else 0.0
+
+    @property
     def seconds(self) -> float:
         return sum(s.seconds for s in self.stats.values())
 
     def coverage_vector(self) -> dict[str, float]:
         return {name: c.percent for name, c in self.classes.items()}
+
+    def aliasing_vector(self) -> dict[str, float]:
+        """Per-class aliasing rates of the pair-verdict classes."""
+        return {
+            name: c.aliased_percent
+            for name, c in self.classes.items()
+            if c.aliased is not None
+        }
 
     def render(self) -> str:
         lines = [f"campaign: {self.flow_name}"]
@@ -114,10 +177,49 @@ class CampaignReport:
         lines.append(
             f"  overall: {self.detected}/{self.total} ({self.percent:.2f}%)"
         )
+        if self.has_pair_verdicts:
+            lines.append(
+                f"  aliased: {self.aliased}/{self.total} "
+                f"({self.aliased_percent:.2f}%)"
+            )
         return "\n".join(lines)
 
 
 ProgressCallback = Callable[[ClassCoverage, ClassStats], None]
+
+
+def _verdict_as_bool(verdict, flow_name: str) -> bool:
+    """Strictly normalize one detection verdict.
+
+    Any non-empty tuple — e.g. the ``(stream, signature)`` pair of an
+    aliasing flow — is truthy, so counting truthiness would silently
+    report 100% coverage even when every fault is missed.  Anything
+    but a real bool is rejected loudly instead.
+    """
+    if isinstance(verdict, bool):
+        return verdict
+    raise TypeError(
+        f"flow {flow_name!r} returned {verdict!r} "
+        f"({type(verdict).__name__}) instead of a bool verdict; "
+        "pair-verdict (stream, signature) flows must be structured "
+        "AliasingFlow instances so run_campaign counts aliasing "
+        "instead of tuple truthiness"
+    )
+
+
+def _verdict_as_pair(verdict, flow_name: str) -> PairVerdict:
+    """Strictly normalize one ``(stream, signature)`` pair verdict."""
+    if (
+        isinstance(verdict, tuple)
+        and len(verdict) == 2
+        and isinstance(verdict[0], bool)
+        and isinstance(verdict[1], bool)
+    ):
+        return verdict
+    raise TypeError(
+        f"aliasing flow {flow_name!r} returned {verdict!r}; expected a "
+        "(stream_detected, signature_detected) pair of bools"
+    )
 
 
 def run_campaign(
@@ -135,19 +237,29 @@ def run_campaign(
     With ``engine`` set and a structure-carrying flow, each class is
     evaluated through the engine's batch path —
     :meth:`Engine.detect_batch` for :class:`CompareFlow`,
-    :meth:`Engine.detect_signature_batch` for :class:`SignatureFlow`
-    (the ``"batch"`` engine vectorizes both); any other flow falls back
-    to per-fault calls regardless of the engine.  ``jobs > 1``
+    :meth:`Engine.detect_signature_batch` for :class:`SignatureFlow`,
+    :meth:`Engine.detect_aliasing_batch` for :class:`AliasingFlow`
+    (the ``"batch"`` engine vectorizes all three); any other flow falls
+    back to per-fault calls regardless of the engine.  ``jobs > 1``
     additionally shards each class across that many worker processes
     with a deterministic merge, so reports are bit-identical to
     ``jobs=1``.  ``progress`` receives the per-class coverage and
     timing as soon as each class completes, so long campaigns expose
     early statistics instead of a single final report.
+
+    An :class:`AliasingFlow` yields a *pair-verdict* campaign:
+    ``detected`` counts the realistic signature oracle, and every
+    :class:`ClassCoverage` additionally carries ``stream_detected`` and
+    ``aliased`` counts.  Verdicts are normalized strictly — a bare
+    callable returning anything but a bool (e.g. a verdict tuple)
+    raises :class:`TypeError` instead of being counted as truthy.
     """
     eng = get_engine(engine) if engine is not None else None
     work = flow.work_unit() if (
-        eng is not None and isinstance(flow, (CompareFlow, SignatureFlow))
+        eng is not None
+        and isinstance(flow, (CompareFlow, SignatureFlow, AliasingFlow))
     ) else None
+    pair_verdicts = isinstance(flow, AliasingFlow)
     # Attribute stats to the backend that actually ran: a bare callable
     # cannot be batched, so the engine is bypassed entirely.
     engine_label = eng.name if work is not None else "flow"
@@ -174,13 +286,29 @@ def run_campaign(
             else:
                 verdicts = [flow(fault) for fault in faults]
             detected = 0
+            stream_hits = 0
+            aliased = 0
             missed: list[Fault] = []
-            for fault, hit in zip(faults, verdicts, strict=True):
+            for fault, verdict in zip(faults, verdicts, strict=True):
+                if pair_verdicts:
+                    stream, hit = _verdict_as_pair(verdict, flow_name)
+                    if stream:
+                        stream_hits += 1
+                        if not hit:
+                            aliased += 1
+                else:
+                    hit = _verdict_as_bool(verdict, flow_name)
                 if hit:
                     detected += 1
                 elif len(missed) < keep_undetected:
                     missed.append(fault)
-            coverage = ClassCoverage(class_name, len(faults), detected)
+            coverage = ClassCoverage(
+                class_name,
+                len(faults),
+                detected,
+                stream_detected=stream_hits if pair_verdicts else None,
+                aliased=aliased if pair_verdicts else None,
+            )
             stats = ClassStats(
                 class_name,
                 len(faults),
@@ -213,7 +341,13 @@ def _initial_words(
         return [rng.randrange(1 << width) for _ in range(n_words)]
     if isinstance(initial, int):
         return [initial & mask] * n_words
-    return [word & mask for word in initial]
+    words = [word & mask for word in initial]
+    if len(words) != n_words:
+        raise ValueError(
+            f"initial content has {len(words)} words but the memory "
+            f"holds {n_words}"
+        )
+    return words
 
 
 class CompareFlow:
@@ -367,6 +501,64 @@ def signature_flow(
     )
 
 
+class AliasingFlow:
+    """Pair-verdict transparent BIST flow with inspectable structure.
+
+    Calling it with a fault runs a full :class:`TransparentBist`
+    session and returns the ``(stream_detected, signature_detected)``
+    pair, so aliasing events (stream-detected but signature-missed)
+    can be counted; the exposed ``test`` / ``prediction`` /
+    ``n_words`` / ``width`` / ``words`` / ``misr_width`` /
+    ``misr_seed`` attributes let :func:`run_campaign` hand whole fault
+    classes to an engine's batched aliasing oracle instead.
+    """
+
+    def __init__(
+        self,
+        test: MarchTest,
+        prediction: MarchTest | None,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+        engine: str | Engine | None = None,
+    ) -> None:
+        self.controller = TransparentBist(
+            test,
+            prediction,
+            misr_width=misr_width,
+            misr_seed=misr_seed,
+            engine=engine,
+        )
+        self.test = self.controller.test
+        self.prediction = self.controller.prediction
+        self.n_words = n_words
+        self.width = width
+        self.words = list(words)
+        self.misr_width = misr_width
+        self.misr_seed = misr_seed
+
+    def __call__(self, fault: Fault) -> PairVerdict:
+        memory = FaultyMemory(self.n_words, self.width, [fault])
+        memory.load(self.words)
+        outcome = self.controller.run(memory)
+        return outcome.stream_detected, outcome.detected
+
+    def work_unit(self) -> AliasingWork:
+        """The picklable campaign work unit handed to engines/shards."""
+        return AliasingWork(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            tuple(self.words),
+            self.misr_width,
+            self.misr_seed,
+        )
+
+
 def aliasing_flow(
     test: MarchTest,
     prediction: MarchTest,
@@ -374,24 +566,26 @@ def aliasing_flow(
     width: int,
     *,
     misr_width: int = 16,
+    misr_seed: int = 0,
     initial: Sequence[int] | int | None = None,
     seed: int = 0,
     engine: str | Engine | None = None,
-) -> Callable[[Fault], tuple[bool, bool]]:
+) -> AliasingFlow:
     """Like :func:`signature_flow` but returns ``(stream, signature)``
-    detection flags so aliasing events can be counted."""
+    detection flags so aliasing events can be counted.  ``misr_seed``
+    seeds both MISRs exactly as in :func:`signature_flow`, so aliasing
+    and signature sessions can be configured consistently."""
     words = _initial_words(n_words, width, initial, seed)
-    controller = TransparentBist(
-        test, prediction, misr_width=misr_width, engine=engine
+    return AliasingFlow(
+        test,
+        prediction,
+        n_words,
+        width,
+        words,
+        misr_width=misr_width,
+        misr_seed=misr_seed,
+        engine=engine,
     )
-
-    def flow(fault: Fault) -> tuple[bool, bool]:
-        memory = FaultyMemory(n_words, width, [fault])
-        memory.load(words)
-        outcome = controller.run(memory)
-        return outcome.stream_detected, outcome.detected
-
-    return flow
 
 
 def compare_reports(

@@ -15,9 +15,12 @@ Commands
     Fault-simulate the transformed test over the standard universe
     (plus the RDF/DRDF/AF extension classes) through a pluggable
     engine; ``--jobs N`` shards each fault class across N worker
-    processes with a deterministic merge, and ``--mode signature``
-    swaps the alias-free compare oracle for the paper's two-phase
-    MISR signature session.
+    processes with a deterministic merge.  ``--mode signature`` swaps
+    the alias-free compare oracle for the paper's two-phase MISR
+    signature session, and ``--mode aliasing`` runs the same session
+    with *pair verdicts*: every class reports stream-detected and
+    aliased counts (stream-detected but signature-missed) next to the
+    signature coverage, the quantity behind the Section 5 comparison.
 ``validate NOTATION``
     Parse and validate a March test given in textual notation.
 """
@@ -28,7 +31,12 @@ import argparse
 import random
 import sys
 
-from .analysis.coverage import compare_flow, run_campaign, signature_flow
+from .analysis.coverage import (
+    aliasing_flow,
+    compare_flow,
+    run_campaign,
+    signature_flow,
+)
 from .analysis.reports import render_table
 from .baselines.scheme1 import scheme1_transform
 from .core.complexity import table3_rows
@@ -139,6 +147,16 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
             initial=None,
             seed=args.seed,
         )
+    elif args.mode == "aliasing":
+        flow = aliasing_flow(
+            result.twmarch,
+            result.prediction,
+            args.words,
+            args.width,
+            misr_width=args.misr_width,
+            initial=None,
+            seed=args.seed,
+        )
     else:
         flow = compare_flow(
             result.twmarch, args.words, args.width, initial=None, seed=args.seed
@@ -232,10 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coverage.add_argument(
         "--mode",
-        choices=("compare", "signature"),
+        choices=("compare", "signature", "aliasing"),
         default="compare",
-        help="detection oracle: alias-free compare, or the two-phase "
-        "MISR signature session (aliasing possible)",
+        help="detection oracle: alias-free compare, the two-phase MISR "
+        "signature session (aliasing possible), or the same session "
+        "with per-fault (stream, signature) pair verdicts that count "
+        "aliasing events per class",
     )
     coverage.add_argument("--misr-width", type=int, default=16)
     coverage.add_argument(

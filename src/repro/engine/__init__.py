@@ -13,8 +13,8 @@ Layers (see ``README.md`` in this directory):
   semantic baseline;
 * :mod:`repro.engine.batch` — word-parallel campaign evaluation
   (bit-plane passes for single-cell faults, subset simulation for
-  coupling and address-decoder faults, linear-MISR signature batching,
-  reference fallback otherwise);
+  coupling and address-decoder faults, linear-MISR signature and
+  pair-verdict aliasing batching, reference fallback otherwise);
 * :mod:`repro.engine.parallel` — process-sharded campaign execution
   (:class:`CampaignRunner`), merging per-chunk verdicts back into the
   deterministic sequential order.
@@ -40,11 +40,18 @@ from .base import (
     register_engine,
 )
 from .batch import BatchEngine
-from .parallel import CampaignRunner, CompareWork, SignatureWork, shard_bounds
+from .parallel import (
+    AliasingWork,
+    CampaignRunner,
+    CompareWork,
+    SignatureWork,
+    shard_bounds,
+)
 from .program import MarchProgram, ProgramElement, ProgramOp, compile_march
 from .reference import ReferenceEngine, execute_program
 
 __all__ = [
+    "AliasingWork",
     "BatchEngine",
     "CampaignRunner",
     "CompareWork",

@@ -14,7 +14,12 @@ Two run granularities exist:
   given the shared initial content and a list of faults, return the
   per-fault detection verdicts of the alias-free compare oracle.  The
   base implementation loops :meth:`Engine.run`; vectorized backends
-  override it.
+  override it.  :meth:`Engine.detect_signature_batch` and
+  :meth:`Engine.detect_aliasing_batch` are the same granularity under
+  the two-phase MISR oracle — the aliasing variant reports ``(stream
+  detected, signature detected)`` *pair verdicts* so campaigns can
+  count aliasing events (stream-detected but signature-missed)
+  directly.
 """
 
 from __future__ import annotations
@@ -144,6 +149,44 @@ class Engine:
         differ.  Aliasing is possible, exactly as in hardware.  The base
         implementation loops :meth:`run`; vectorized backends override.
         """
+        return [
+            signature
+            for _stream, signature in self.detect_aliasing_batch(
+                test,
+                prediction,
+                n_words,
+                width,
+                words,
+                faults,
+                misr_width=misr_width,
+                misr_seed=misr_seed,
+            )
+        ]
+
+    def detect_aliasing_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        prediction: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> list[tuple[bool, bool]]:
+        """``(stream_detected, signature_detected)`` pair verdict for
+        every fault in *faults*.
+
+        The session is the same two-phase transparent BIST run as
+        :meth:`detect_signature_batch`; on top of the signature verdict,
+        each pair records whether the ideal alias-free compare oracle
+        saw the fault in the test phase's read stream (the semantics of
+        :attr:`repro.bist.controller.BistOutcome.stream_detected`).  A
+        fault with ``(True, False)`` *aliased*: the read stream was
+        wrong but the signatures collided.  The base implementation
+        loops :meth:`run`; vectorized backends override.
+        """
         from ..bist.misr import Misr
         from ..memory.injection import FaultyMemory
 
@@ -164,13 +207,18 @@ class Engine:
                 ),
             )
             test_misr = Misr(misr_width, misr_seed)
-            self.run(
+            test_run = self.run(
                 test_program,
                 memory,
                 snapshot=snapshot,
                 read_sink=lambda rec: test_misr.absorb(rec.raw),
             )
-            out.append(predict_misr.signature != test_misr.signature)
+            out.append(
+                (
+                    test_run.n_mismatches > 0,
+                    predict_misr.signature != test_misr.signature,
+                )
+            )
         return out
 
     # -- helpers -------------------------------------------------------

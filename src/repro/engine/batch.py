@@ -48,6 +48,10 @@ the fault-free read streams of both phases are recorded once per
 bit into a precomputed signature weight, and each fault only needs a
 subset replay over its own words to know which read bits it corrupts —
 O(op_count) per fault instead of two full O(op_count x n_words) runs.
+:meth:`BatchEngine.detect_aliasing_batch` rides the *same* replay: the
+test-phase leg of it also compares every support read against its
+session-snapshot expected value, yielding the alias-free stream
+verdict next to the signature verdict at no extra pass.
 
 Single executions (:meth:`BatchEngine.run`) use the reference
 interpreter unchanged: the batch acceleration is campaign-level.
@@ -149,6 +153,33 @@ class BatchEngine(Engine):
             misr_width, misr_seed,
         )
         return [ctx.detect(fault) for fault in faults]
+
+    def detect_aliasing_batch(
+        self,
+        test,
+        prediction,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: Sequence[Fault],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> list[tuple[bool, bool]]:
+        test_program = self._program(test, width)
+        prediction_program = self._program(prediction, width)
+        if not (test_program.derivable and prediction_program.derivable):
+            # The per-fault reference path raises ExecutionError at the
+            # first underivable write; only it reproduces that exactly.
+            return super().detect_aliasing_batch(
+                test_program, prediction_program, n_words, width, words,
+                faults, misr_width=misr_width, misr_seed=misr_seed,
+            )
+        ctx = _SignatureContext(
+            prediction_program, test_program, n_words, words,
+            misr_width, misr_seed,
+        )
+        return [ctx.detect_pair(fault) for fault in faults]
 
 
 class _CampaignContext:
@@ -594,6 +625,13 @@ class _SignatureContext:
     (:func:`repro.bist.misr.absorb_weight_table`).  The fault-free
     streams and weights are computed once; each fault then costs one
     O(op_count) subset replay of both phases.
+
+    The same replay answers the *aliasing* oracle (:meth:`detect_pair`)
+    for free: the test-phase stream verdict is whether any replayed
+    read at a support word disagrees with its session-snapshot expected
+    value, OR-ed with the recorded fault-free mismatch behaviour of the
+    words the fault cannot influence (non-empty only for ill-formed
+    tests).  No second replay is needed for the pair.
     """
 
     def __init__(
@@ -639,14 +677,23 @@ class _SignatureContext:
             prediction, memory, snapshot=self.words, read_sink=_sink_prediction
         )
         test_raw: list[int] = []
+        test_mismatch_addrs: set[int] = set()
+
+        def _sink_test(rec) -> None:
+            test_raw.append(rec.raw)
+            if rec.mismatch:
+                test_mismatch_addrs.add(rec.addr)
+
         execute_program(
-            test,
-            memory,
-            snapshot=self.words,
-            read_sink=lambda rec: test_raw.append(rec.raw),
+            test, memory, snapshot=self.words, read_sink=_sink_test
         )
         self.prediction_raw = prediction_raw
         self.test_raw = test_raw
+        # Addresses whose fault-free test-phase reads already mismatch
+        # their expected values (empty for well-formed tests).  A fault
+        # cannot influence reads outside its support, so these are its
+        # stream verdict's contribution from everywhere else.
+        self.test_mismatch_addrs = frozenset(test_mismatch_addrs)
         prediction_sig, n_pred = signature_of_stream(
             prediction_absorbed, width=misr_width, seed=misr_seed
         )
@@ -670,14 +717,44 @@ class _SignatureContext:
         sim = _SubsetSim(
             fault, {a: self.words[a] for a in support}, self.width
         )
-        delta = self._phase_delta(
+        delta, _ = self._phase_delta(
             self.prediction, sim, support, self.prediction_raw,
             self.prediction_weights,
         )
-        delta ^= self._phase_delta(
+        test_delta, _ = self._phase_delta(
             self.test, sim, support, self.test_raw, self.test_weights
         )
-        return delta != self.fault_free_gap
+        return (delta ^ test_delta) != self.fault_free_gap
+
+    def detect_pair(self, fault: Fault) -> tuple[bool, bool]:
+        """``(stream_detected, signature_detected)`` of one session,
+        bit-identical to :class:`~repro.bist.controller.TransparentBist`
+        on the same fault, from the same single subset replay."""
+        fault.validate(self.n_words, self.width)
+        support = _SubsetSim.support(fault)
+        if support is None:
+            return self._fallback_pair(fault)
+        sim = _SubsetSim(
+            fault, {a: self.words[a] for a in support}, self.width
+        )
+        # The controller snapshots the faulty memory *before* the
+        # prediction phase; the subset constructor has just applied the
+        # static fault enforcement, so this is that snapshot restricted
+        # to the support words.
+        session_snap = dict(sim.words)
+        delta, _ = self._phase_delta(
+            self.prediction, sim, support, self.prediction_raw,
+            self.prediction_weights,
+        )
+        test_delta, mismatched = self._phase_delta(
+            self.test, sim, support, self.test_raw, self.test_weights,
+            expected_snap=session_snap,
+        )
+        if not mismatched and self.test_mismatch_addrs:
+            mismatched = any(
+                addr not in support for addr in self.test_mismatch_addrs
+            )
+        return mismatched, (delta ^ test_delta) != self.fault_free_gap
 
     def _phase_delta(
         self,
@@ -686,15 +763,22 @@ class _SignatureContext:
         addrs: tuple[int, ...],
         fault_free_raw: Sequence[int],
         weights: Sequence[Sequence[int]],
-    ) -> int:
+        expected_snap: "dict[int, int] | None" = None,
+    ) -> tuple[int, bool]:
         """Subset replay of one phase, XOR-accumulating the signature
         weights of every corrupted read bit.
 
         The fault-free stream index of the *j*-th read of address *a*
         in element *e* is ``base_e + position(a) * reads_e + j`` —
         exactly the order the interpreter emits reads in.
+
+        With *expected_snap* (the session snapshot of the support
+        words) the replay additionally reports whether any read
+        disagreed with its snapshot-derived expected value — the
+        compare-oracle stream verdict over the support.
         """
         delta = 0
+        mismatched = False
         n_words = self.n_words
         fold_positions = self.fold_positions
         ascending = sorted(addrs)
@@ -714,9 +798,15 @@ class _SignatureContext:
                 k = base + position * n_reads
                 last_raw = 0
                 last_mask = 0
+                snap_word = (
+                    expected_snap[addr] if expected_snap is not None else 0
+                )
                 for is_read, relative, mask, _ok in steps:
                     if is_read:
                         raw = fetch(addr)
+                        if expected_snap is not None and not mismatched:
+                            expected = (snap_word ^ mask) if relative else mask
+                            mismatched = raw != expected
                         err = raw ^ fault_free_raw[k]
                         if err:
                             weight = weights[k]
@@ -734,12 +824,17 @@ class _SignatureContext:
                         )
                         store(addr, value)
             base += n_reads * n_words
-        return delta
+        return delta, mismatched
 
     # -- fallback ------------------------------------------------------
     def _fallback(self, fault: Fault) -> bool:
         """Full-fidelity two-phase session for fault kinds without
         subset semantics (user-defined models)."""
+        return self._fallback_pair(fault)[1]
+
+    def _fallback_pair(self, fault: Fault) -> tuple[bool, bool]:
+        """Full-fidelity two-phase session reporting the
+        ``(stream, signature)`` pair verdict."""
         from ..bist.misr import Misr
         from ..memory.injection import FaultyMemory
 
@@ -754,13 +849,16 @@ class _SignatureContext:
             read_sink=lambda rec: predict_misr.absorb(rec.raw ^ rec.mask_value),
         )
         test_misr = Misr(self.misr_width, self.misr_seed)
-        execute_program(
+        test_run = execute_program(
             self.test,
             memory,
             snapshot=snapshot,
             read_sink=lambda rec: test_misr.absorb(rec.raw),
         )
-        return predict_misr.signature != test_misr.signature
+        return (
+            test_run.n_mismatches > 0,
+            predict_misr.signature != test_misr.signature,
+        )
 
 
 register_engine(BatchEngine())

@@ -6,9 +6,9 @@ parallel: every fault is simulated alone against the same immutable
 into contiguous chunks and evaluated on separate processes with no
 shared state.  This module provides
 
-* :class:`CompareWork` / :class:`SignatureWork` — picklable work-unit
-  descriptions (the flow structure minus the faults), executable
-  against any registered engine;
+* :class:`CompareWork` / :class:`SignatureWork` / :class:`AliasingWork`
+  — picklable work-unit descriptions (the flow structure minus the
+  faults), executable against any registered engine;
 * :class:`CampaignRunner` — a process-pool wrapper that shards a fault
   class, dispatches chunks, and merges verdicts deterministically.
 
@@ -84,6 +84,29 @@ class SignatureWork:
 
     def run(self, engine: Engine, faults: "Sequence[Fault]") -> list[bool]:
         return engine.detect_signature_batch(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            misr_width=self.misr_width,
+            misr_seed=self.misr_seed,
+        )
+
+
+@dataclass(frozen=True)
+class AliasingWork(SignatureWork):
+    """One aliasing-oracle campaign context: the exact session
+    description of :class:`SignatureWork`, but reporting per-fault
+    ``(stream detected, signature detected)`` pair verdicts so
+    aliasing events can be counted.  Pair verdicts are plain tuples of
+    bools, so chunks shard and merge exactly like boolean verdicts."""
+
+    def run(
+        self, engine: Engine, faults: "Sequence[Fault]"
+    ) -> list[tuple[bool, bool]]:
+        return engine.detect_aliasing_batch(
             self.test,
             self.prediction,
             self.n_words,

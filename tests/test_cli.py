@@ -83,6 +83,39 @@ class TestCoverage:
         assert "SAF: " in out
         assert "overall" in out
 
+    def test_aliasing_mode(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+                "--mode", "aliasing",
+                "--misr-width", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[aliasing]" in out
+        assert "aliased" in out
+        assert "stream" in out
+
+    def test_aliasing_mode_sharded(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+                "--mode", "aliasing",
+                "--jobs", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "aliased" in out
+        assert "jobs=2" in out
+
 
 class TestValidate:
     def test_valid_solid(self, capsys):

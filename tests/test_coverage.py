@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.analysis.coverage import (
+    AliasingFlow,
     aliasing_flow,
     compare_flow,
     compare_reports,
@@ -204,3 +205,122 @@ class TestSignatureFlows:
         )
         fault = next(iter(enumerate_stuck_at(N_WORDS, WIDTH)))
         assert flow(fault) in (True, False)
+
+
+class TestAliasingCampaigns:
+    """Pair-verdict campaigns: aliasing counts and strict verdicts."""
+
+    def test_campaign_counts_aliasing(self, twm):
+        # A 1-bit MISR aliases heavily, so every count is exercised.
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=1, initial=None, seed=5,
+        )
+        assert isinstance(flow, AliasingFlow)
+        rep = run_campaign(flow, universe, flow_name="aliasing")
+        pairs = [flow(fault) for fault in universe["SAF"]]
+        cov = rep.classes["SAF"]
+        assert cov.detected == sum(sig for _stream, sig in pairs)
+        assert cov.stream_detected == sum(stream for stream, _sig in pairs)
+        assert cov.aliased == sum(
+            stream and not sig for stream, sig in pairs
+        )
+        assert cov.aliased > 0  # the 1-bit register must alias here
+        assert rep.aliased == cov.aliased
+        assert rep.aliased_percent == cov.aliased_percent
+        assert rep.aliasing_vector() == {"SAF": cov.aliased_percent}
+        assert rep.has_pair_verdicts
+
+    def test_render_includes_aliasing(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=1, initial=None, seed=5,
+        )
+        text = run_campaign(flow, universe).render()
+        assert "aliased" in text and "stream" in text
+
+    def test_single_verdict_reports_carry_no_pair_stats(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        rep = run_campaign(
+            compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=0), universe
+        )
+        assert not rep.has_pair_verdicts
+        assert rep.classes["SAF"].aliased is None
+        assert rep.classes["SAF"].stream_detected is None
+        assert rep.aliasing_vector() == {}
+        assert "aliased" not in rep.render()
+
+    def test_misr_seed_forwarded(self, twm):
+        # Regression: aliasing_flow silently ignored MISR seeding, so
+        # aliasing sessions could not match seeded signature sessions.
+        flow = aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=4, misr_seed=0x5A,
+        )
+        assert flow.misr_seed == 0x5A
+        assert flow.controller.misr_seed == 0x5A
+        assert flow.work_unit().misr_seed == 0x5A
+
+    def test_tuple_returning_bare_callable_raises(self, twm):
+        # Regression: a (False, False) tuple is truthy, so a bare
+        # pair-returning callable used to report 100% coverage even
+        # when every fault was missed.
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        with pytest.raises(TypeError, match="bool"):
+            run_campaign(lambda fault: (False, False), universe)
+
+    def test_non_bool_verdict_raises(self, twm):
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        for verdict in (1, None, "yes"):
+            with pytest.raises(TypeError, match="bool"):
+                run_campaign(lambda fault: verdict, universe)
+
+    def test_structured_aliasing_flow_counts_correctly_when_missed(self, twm):
+        # The structured path must NOT inherit the truthiness bug: a
+        # fault missed by both oracles counts as undetected.
+        universe = {"SAF": list(enumerate_stuck_at(N_WORDS, WIDTH))}
+        flow = aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=1, initial=None, seed=5,
+        )
+        rep = run_campaign(flow, universe)
+        assert rep.detected < rep.total  # the 1-bit MISR misses some
+        assert rep.percent < 100.0
+
+
+class TestInitialWordsValidation:
+    """Regression: a mis-sized initial sequence must raise, not build
+    a mis-sized memory image."""
+
+    def test_too_short_raises(self, twm):
+        with pytest.raises(ValueError, match="initial content"):
+            compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=[1, 2])
+
+    def test_too_long_raises(self, twm):
+        with pytest.raises(ValueError, match="initial content"):
+            signature_flow(
+                twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+                initial=[0] * (N_WORDS + 1),
+            )
+
+    def test_aliasing_flow_validates_too(self, twm):
+        with pytest.raises(ValueError, match="initial content"):
+            aliasing_flow(
+                twm.twmarch, twm.prediction, N_WORDS, WIDTH, initial=[7]
+            )
+
+    def test_exact_length_accepted(self, twm):
+        flow = compare_flow(
+            twm.twmarch, N_WORDS, WIDTH, initial=list(range(N_WORDS))
+        )
+        assert flow.words == list(range(N_WORDS))
+
+    def test_int_and_none_still_fill(self, twm):
+        assert compare_flow(
+            twm.twmarch, N_WORDS, WIDTH, initial=3
+        ).words == [3] * N_WORDS
+        assert len(
+            compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=None).words
+        ) == N_WORDS
