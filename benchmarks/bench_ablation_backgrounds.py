@@ -15,8 +15,6 @@ measures intra-word CF coverage, showing:
   conditions — the cost/coverage trade-off the paper implicitly makes.
 """
 
-import random
-
 from conftest import save_artifact
 
 from repro.analysis.coverage import compare_flow, run_campaign
@@ -98,7 +96,10 @@ def test_ablation_background_plan(benchmark):
 
     table = render_table(
         ["Pattern plan", "TCM/n", "CFid-intra %", "CFin-intra %", "CFst-intra %"],
-        [(l, c, f"{a:.2f}", f"{b:.2f}", f"{d:.2f}") for l, c, a, b, d in rows],
+        [
+            (label, c, f"{a:.2f}", f"{b:.2f}", f"{d:.2f}")
+            for label, c, a, b, d in rows
+        ],
         title=(
             "Ablation A2 — ATMarch pattern-plan size vs intra-word CF "
             f"coverage (March C-, b={WIDTH})"
@@ -109,7 +110,8 @@ def test_ablation_background_plan(benchmark):
     by_label = {label: row for label, *row in rows}
 
     # Coverage grows monotonically with the plan for CFid.
-    cfid = [by_label[l][1] for l in ("no patterns", "D1", "D1..D2", "D1..D3 (TWM_TA)")]
+    plans = ("no patterns", "D1", "D1..D2", "D1..D3 (TWM_TA)")
+    cfid = [by_label[label][1] for label in plans]
     assert cfid == sorted(cfid)
     assert cfid[-1] > cfid[0]
 

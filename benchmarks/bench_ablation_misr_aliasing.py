@@ -9,7 +9,6 @@ decays roughly as 2^-width and disappears for practical widths.
 """
 
 import itertools
-import random
 
 from conftest import save_artifact
 

@@ -16,8 +16,6 @@ bit-oriented tests and their TWM_TA transparent word transforms:
   which is precisely the DRDF detection condition.
 """
 
-import random
-
 from conftest import save_artifact
 
 from repro.analysis.coverage import compare_flow, run_campaign

@@ -1,0 +1,113 @@
+"""Bench-regression gate: fail CI when the engine speedup collapses.
+
+``BENCH_engine.json`` (repo root) is the tracked perf trajectory of the
+engine subsystem.  This gate compares a freshly produced copy against
+the committed baseline and fails when any batch-vs-reference speedup
+ratio of the base workload drops below ``--threshold`` (default 0.7)
+times its baseline value — i.e. the batch engine lost more than 30% of
+its relative advantage.  Ratios are compared, not absolute seconds, so
+the gate is robust to slow or noisy CI hosts: both engines run on the
+same machine in the same job.
+
+Usage::
+
+    cp BENCH_engine.json /tmp/baseline.json
+    python benchmarks/bench_engine_speedup.py --jobs 2
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/baseline.json --fresh BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_THRESHOLD = 0.7
+
+
+def speedup_ratios(payload: dict) -> dict[str, float]:
+    """``{workload/mode: speedup}`` for every ratio the gate watches."""
+    ratios: dict[str, float] = {}
+    for workload_name, workload in payload.get("workloads", {}).items():
+        for mode_name, mode in workload.get("modes", {}).items():
+            for key in ("speedup_batch_vs_reference",):
+                if key in mode:
+                    ratios[f"{workload_name}/{mode_name}"] = mode[key]
+    return ratios
+
+
+def check(baseline: dict, fresh: dict, threshold: float) -> list[str]:
+    """Human-readable failures (empty when the gate passes)."""
+    failures = []
+    if not fresh.get("checks", {}).get("all_vectors_identical", False):
+        failures.append(
+            "fresh benchmark reports non-identical coverage vectors "
+            "(checks.all_vectors_identical is false)"
+        )
+    baseline_ratios = speedup_ratios(baseline)
+    fresh_ratios = speedup_ratios(fresh)
+    if not baseline_ratios:
+        failures.append("baseline carries no speedup ratios to compare")
+    for leg, base_value in sorted(baseline_ratios.items()):
+        fresh_value = fresh_ratios.get(leg)
+        if fresh_value is None:
+            failures.append(f"{leg}: ratio missing from fresh benchmark")
+            continue
+        floor = threshold * base_value
+        if fresh_value < floor:
+            failures.append(
+                f"{leg}: speedup {fresh_value:.2f}x is below "
+                f"{threshold:.0%} of baseline {base_value:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        required=True,
+        help="committed BENCH_engine.json to compare against",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        required=True,
+        help="freshly produced BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="minimum fresh/baseline ratio fraction (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    failures = check(baseline, fresh, args.threshold)
+
+    fresh_ratios = speedup_ratios(fresh)
+    baseline_ratios = speedup_ratios(baseline)
+    for leg in sorted(set(baseline_ratios) | set(fresh_ratios)):
+        base_value = baseline_ratios.get(leg)
+        fresh_value = fresh_ratios.get(leg)
+        base_text = "-" if base_value is None else f"{base_value:.2f}x"
+        fresh_text = "-" if fresh_value is None else f"{fresh_value:.2f}x"
+        print(f"  {leg}: baseline {base_text} -> fresh {fresh_text}")
+
+    if failures:
+        print("bench-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"bench-regression gate passed ({len(baseline_ratios)} ratios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

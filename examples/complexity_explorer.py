@@ -10,7 +10,12 @@ Run:  python examples/complexity_explorer.py
 """
 
 from repro import library, render_table, table2_rows, table3_rows
-from repro.core.complexity import headline_ratios, twm_cost, tomt_cost, scheme1_cost
+from repro.core.complexity import (
+    headline_ratios,
+    scheme1_cost,
+    tomt_cost,
+    twm_cost,
+)
 
 
 def main() -> None:

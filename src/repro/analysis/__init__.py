@@ -28,7 +28,16 @@ from .states import (
     state_sequence,
     two_cell_trace,
 )
-from .symbolic import SymbolicRow, symbolic_rows, table1_rows
+from .symbolic import (
+    SymbolicContent,
+    SymbolicRow,
+    SymbolicTrace,
+    TraceStep,
+    symbolic_rows,
+    symbolic_trace,
+    table1_rows,
+)
+from .table2 import Table2Report, Table2Row, table2_report
 
 __all__ = [
     "AliasingFlow",
@@ -40,7 +49,12 @@ __all__ = [
     "IntraWordConditions",
     "PairConditionCoverage",
     "SignatureFlow",
+    "SymbolicContent",
     "SymbolicRow",
+    "SymbolicTrace",
+    "Table2Report",
+    "Table2Row",
+    "TraceStep",
     "TwoCellEvent",
     "aliasing_flow",
     "analyse_records",
@@ -55,6 +69,8 @@ __all__ = [
     "signature_flow",
     "state_sequence",
     "symbolic_rows",
+    "symbolic_trace",
     "table1_rows",
+    "table2_report",
     "two_cell_trace",
 ]

@@ -1,10 +1,23 @@
-"""Symbolic word-content tracking — regenerates the paper's Table 1.
+"""Symbolic content tracking over the whole address space.
 
-Table 1 lists the content of one word (bits ``a7 .. a0`` for an 8-bit
-memory) after each operation of the first three ATMarch elements.  The
-content of a transparent test is always ``c ^ mask`` for some pattern
-mask, so a bit is either ``a_j`` or its complement; this module renders
-that evolution without committing to concrete data.
+The content a march test leaves in a word is always an expression over
+that word's unknown initial value ``c``: transparent operations keep it
+in the form ``c ^ mask``, absolute (solid) writes collapse it to a bare
+``mask``.  Because every word of a fault-free memory experiences the
+identical per-visit operation sequence, one symbolic track describes
+the *entire* address space — the state model the width-generic
+``symbolic`` engine evaluates faults against, and the machinery behind
+the paper's Table 1 rendering.
+
+Three layers:
+
+* :class:`SymbolicContent` — ``(c if relative else 0) ^ mask``, with
+  width-generic bit evaluation (:meth:`SymbolicContent.bit_at`);
+* :func:`symbolic_trace` — the per-op evolution of that content
+  through a test, modelling both the oracle and the operational
+  derived-write datapaths, for transparent *and* solid tests;
+* :func:`symbolic_rows` / :func:`table1_rows` — the historical Table 1
+  view (one transparent word), now a thin slice of the trace.
 """
 
 from __future__ import annotations
@@ -13,6 +26,174 @@ from dataclasses import dataclass
 
 from ..core.march import MarchTest
 from ..core.ops import Mask, Op
+
+
+@dataclass(frozen=True)
+class SymbolicContent:
+    """The symbolic value of one word: ``(c if relative else 0) ^ mask``.
+
+    ``relative`` says whether the unknown initial content ``c`` still
+    participates; after an absolute write it does not, and the word
+    holds a content-independent background.
+    """
+
+    relative: bool
+    mask: Mask
+
+    def bit_at(self, position: int, c_bit: int = 0) -> int:
+        """Bit *position* of the content for a word whose initial bit
+        at that position is *c_bit* — width-independent, like
+        :meth:`~repro.core.ops.Mask.bit_at`."""
+        base = c_bit if self.relative else 0
+        return base ^ self.mask.bit_at(position)
+
+    def resolve(self, width: int, initial: int = 0) -> int:
+        """Concrete value at *width* for a word initially *initial*."""
+        base = initial if self.relative else 0
+        return (base ^ self.mask.resolve(width)) & ((1 << width) - 1)
+
+    @property
+    def symbol(self) -> str:
+        if not self.relative:
+            return self.mask.symbol
+        if self.mask.is_zero:
+            return "c"
+        return f"c^{self.mask.symbol}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.symbol
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One operation of a symbolic trace.
+
+    For reads, ``content_before`` is the raw value a fault-free memory
+    returns and ``(c ^ mask if relative else mask)`` the expected
+    value; for writes, ``content_after`` is what the datapath stores.
+    """
+
+    element_index: int
+    op_index: int
+    op: Op
+    content_before: SymbolicContent
+    content_after: SymbolicContent
+
+    @property
+    def is_read(self) -> bool:
+        return self.op.is_read
+
+    @property
+    def relative(self) -> bool:
+        return self.op.is_relative
+
+    @property
+    def mask(self) -> Mask:
+        return self.op.data.mask
+
+    def read_mismatch_bit(self, position: int, c_bit: int) -> bool:
+        """Whether the fault-free read disagrees with its expected
+        value at *position*, for a word whose initial bit there is
+        *c_bit* (always False for well-formed tests).
+        """
+        raw = self.content_before.bit_at(position, c_bit)
+        expected_base = c_bit if self.relative else 0
+        return raw != expected_base ^ self.mask.bit_at(position)
+
+
+@dataclass(frozen=True)
+class SymbolicTrace:
+    """The full-address-space symbolic execution of one march test.
+
+    Every word of a fault-free memory follows ``steps`` in sequence
+    (per element-visit); within one element, words already visited hold
+    the element's final content while the rest still hold its entering
+    content — which is all an engine needs, since march semantics never
+    let one fault-free word observe another.
+    """
+
+    name: str
+    steps: tuple[TraceStep, ...]
+    derive_writes: bool
+    start: SymbolicContent
+
+    @property
+    def read_steps(self) -> tuple[TraceStep, ...]:
+        return tuple(step for step in self.steps if step.is_read)
+
+    def content_entering(self, element_index: int) -> SymbolicContent:
+        """Word content on entry to element *element_index*."""
+        for step in self.steps:
+            if step.element_index == element_index:
+                return step.content_before
+        raise IndexError(f"no element {element_index} in trace {self.name!r}")
+
+    def content_leaving(self, element_index: int) -> SymbolicContent:
+        """Word content after a full visit of element *element_index*."""
+        content = None
+        for step in self.steps:
+            if step.element_index == element_index:
+                content = step.content_after
+        if content is None:
+            raise IndexError(f"no element {element_index} in trace {self.name!r}")
+        return content
+
+    @property
+    def final(self) -> SymbolicContent:
+        return self.steps[-1].content_after if self.steps else self.start
+
+
+def symbolic_trace(
+    test: MarchTest,
+    *,
+    derive_writes: bool = False,
+    start_mask: Mask = Mask.ZERO,
+) -> SymbolicTrace:
+    """Trace the symbolic content of a word through *test*.
+
+    ``derive_writes`` selects the datapath for content-relative writes:
+    ``False`` is the oracle view (the write stores ``c ^ mask``
+    against the run snapshot — the classic Table 1 semantics), ``True``
+    the operational BIST datapath (the write derives its data from the
+    most recent read of the same element-visit, and raises
+    :class:`ValueError` when no read precedes).  ``start_mask`` offsets
+    the content entering the first element relative to ``c``.
+    """
+    state = SymbolicContent(True, start_mask)
+    steps: list[TraceStep] = []
+    op_index = 0
+    for element_index, element in enumerate(test.elements):
+        last_read: SymbolicContent | None = None
+        last_mask = Mask.ZERO
+        for op in element.ops:
+            before = state
+            if op.is_read:
+                last_read, last_mask = state, op.data.mask
+            elif op.is_relative and derive_writes:
+                if last_read is None:
+                    raise ValueError(
+                        f"{test.name}: derived write {op} at element "
+                        f"{element_index} has no preceding read in its "
+                        "element-visit"
+                    )
+                state = SymbolicContent(
+                    last_read.relative,
+                    last_read.mask ^ last_mask ^ op.data.mask,
+                )
+            elif op.is_relative:
+                state = SymbolicContent(True, op.data.mask)
+            else:
+                state = SymbolicContent(False, op.data.mask)
+            steps.append(TraceStep(element_index, op_index, op, before, state))
+            op_index += 1
+    return SymbolicTrace(
+        test.name, tuple(steps), derive_writes, SymbolicContent(True, start_mask)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1: the historical single-word transparent view
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -51,17 +232,17 @@ def symbolic_rows(
     if not test.is_transparent_form:
         raise ValueError("symbolic tracking is defined for transparent tests")
     selected = test.elements[elements] if elements is not None else test.elements
+    if not selected:
+        return []
     offset = 0
     if elements is not None:
         offset = elements.indices(len(test.elements))[0]
-    rows: list[SymbolicRow] = []
-    current = start_mask
-    for index, element in enumerate(selected):
-        for op in element.ops:
-            if op.is_write:
-                current = op.data.mask
-            rows.append(SymbolicRow(offset + index, op, current))
-    return rows
+    view = MarchTest(test.name, tuple(selected))
+    trace = symbolic_trace(view, derive_writes=False, start_mask=start_mask)
+    return [
+        SymbolicRow(offset + step.element_index, step.op, step.content_after.mask)
+        for step in trace.steps
+    ]
 
 
 def table1_rows(atmarch: MarchTest, width: int = 8) -> list[tuple[str, str]]:

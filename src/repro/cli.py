@@ -21,6 +21,14 @@ Commands
     with *pair verdicts*: every class reports stream-detected and
     aliased counts (stream-detected but signature-missed) next to the
     signature coverage, the quantity behind the Section 5 comparison.
+    ``--engine symbolic`` evaluates compare-mode campaigns through the
+    width-generic symbolic backend (signature/aliasing modes are
+    width-concrete and rejected with a clear error).
+``table2 [NAME] [--widths 4,8,16,32] [--words N] [--engines reference,batch]``
+    Regenerate the paper's Table 2 rows with the symbolic engine — one
+    width-generic evaluation per fault shape — and diff every verdict
+    against the concrete engines at each swept width; exits non-zero
+    on any disagreement.
 ``validate NOTATION``
     Parse and validate a March test given in textual notation.
 """
@@ -38,12 +46,13 @@ from .analysis.coverage import (
     signature_flow,
 )
 from .analysis.reports import render_table
+from .analysis.table2 import DEFAULT_WIDTHS, table2_report
 from .baselines.scheme1 import scheme1_transform
 from .core.complexity import table3_rows
 from .core.notation import NotationError, format_march, parse_march
 from .core.twm import twm_transform
 from .core.validate import validate_solid, validate_transparent
-from .engine import engine_names
+from .engine import ExecutionError, engine_names
 from .library import catalog
 from .memory.injection import standard_fault_universe
 
@@ -177,6 +186,35 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_table2(args: argparse.Namespace) -> int:
+    widths = tuple(int(w) for w in args.widths.split(","))
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    report = table2_report(
+        args.name,
+        widths=widths,
+        n_words=args.words,
+        seed=args.seed,
+        max_inter_pairs=args.max_inter_pairs,
+        engines=engines,
+    )
+    print(report.render())
+    invariant = report.width_independent_classes
+    if invariant:
+        print(f"  width-invariant coverage classes: {', '.join(invariant)}")
+    if report.ok:
+        print(
+            f"  symbolic verdicts match {', '.join(engines)} on all "
+            f"{report.total_faults} faults at widths "
+            f"{', '.join(map(str, widths))}"
+        )
+        return 0
+    print(
+        "error: symbolic verdicts disagree with a concrete engine",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
         test = parse_march(args.notation, name="cli")
@@ -265,6 +303,26 @@ def build_parser() -> argparse.ArgumentParser:
         "classes (drop RDF/DRDF/AF)",
     )
 
+    table2 = sub.add_parser(
+        "table2",
+        help="regenerate Table 2 symbolically and diff against "
+        "concrete engines",
+    )
+    table2.add_argument("name", nargs="?", default="March C-")
+    table2.add_argument(
+        "--widths",
+        default=",".join(map(str, DEFAULT_WIDTHS)),
+        help="comma-separated word widths to concretize at",
+    )
+    table2.add_argument("--words", type=int, default=4)
+    table2.add_argument("--seed", type=int, default=0)
+    table2.add_argument("--max-inter-pairs", type=int, default=8)
+    table2.add_argument(
+        "--engines",
+        default="reference,batch",
+        help="concrete engines to diff the symbolic verdicts against",
+    )
+
     validate = sub.add_parser("validate", help="check a notation string")
     validate.add_argument("notation")
 
@@ -277,6 +335,7 @@ _COMMANDS = {
     "transform": _cmd_transform,
     "complexity": _cmd_complexity,
     "coverage": _cmd_coverage,
+    "table2": _cmd_table2,
     "validate": _cmd_validate,
 }
 
@@ -288,7 +347,7 @@ def main(argv: list[str] | None = None) -> int:
     except KeyError as error:  # unknown catalog name
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except ValueError as error:
+    except (ValueError, ExecutionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -28,7 +28,7 @@ import re
 
 from .element import AddressOrder, MarchElement
 from .march import MarchTest
-from .ops import DataExpr, Mask, Op, OpKind, ONES, bit, checker
+from .ops import DataExpr, Mask, Op, OpKind, bit, checker
 
 
 class NotationError(ValueError):

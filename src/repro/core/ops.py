@@ -92,6 +92,30 @@ class Pattern:
             )
         return 1 << self.index
 
+    def bit_at(self, position: int) -> int:
+        """Bit *position* of this pattern, independent of word width.
+
+        All three families define bit ``j`` by a rule that does not
+        mention the width (``ones`` is 1 everywhere, ``checker(k)``
+        follows the ``floor(j / 2**(k-1))`` parity, ``bit(i)`` is 1 at
+        ``i`` only), so the value is the same for every width greater
+        than *position* — the width-generic fact symbolic fault
+        evaluation rests on.
+        """
+        if position < 0:
+            raise ValueError("bit position must be >= 0")
+        if self.family == "ones":
+            return 1
+        if self.family == "checker":
+            stride = 1 << (self.index - 1)
+            return 1 if (position // stride) % 2 == 0 else 0
+        return 1 if position == self.index else 0
+
+    @property
+    def min_width(self) -> int:
+        """Smallest word width this pattern resolves at."""
+        return self.index + 1 if self.family == "bit" else 1
+
     @property
     def symbol(self) -> str:
         if self.family == "ones":
@@ -169,6 +193,20 @@ class Mask:
         for p in self.terms:
             value ^= p.resolve(width)
         return value & ((1 << width) - 1)
+
+    def bit_at(self, position: int) -> int:
+        """Bit *position* of this mask, independent of word width (the
+        XOR of the terms' width-generic bits; see
+        :meth:`Pattern.bit_at`)."""
+        value = 0
+        for p in self.terms:
+            value ^= p.bit_at(position)
+        return value
+
+    @property
+    def min_width(self) -> int:
+        """Smallest word width every term of this mask resolves at."""
+        return max((p.min_width for p in self.terms), default=1)
 
     @property
     def is_zero(self) -> bool:

@@ -88,7 +88,9 @@ def _require_bit_oriented(bmarch: MarchTest) -> None:
             )
 
 
-def solid_background_test(bmarch: MarchTest, *, append_read: bool = True) -> tuple[MarchTest, bool]:
+def solid_background_test(
+    bmarch: MarchTest, *, append_read: bool = True
+) -> tuple[MarchTest, bool]:
     """Steps 1–2 of TWM_TA: SMarch with the optional trailing read.
 
     Returns the SMarch test and whether a read was appended.

@@ -47,13 +47,32 @@ from .parallel import (
     SignatureWork,
     shard_bounds,
 )
-from .program import MarchProgram, ProgramElement, ProgramOp, compile_march
+from .program import (
+    MarchProgram,
+    ProgramElement,
+    ProgramOp,
+    SymbolicElement,
+    SymbolicProgram,
+    compile_march,
+    compile_symbolic,
+)
 from .reference import ReferenceEngine, execute_program
+
+# Imported last: the symbolic backend reuses the analysis layer's mask
+# tracking, and repro.analysis.coverage imports back from this package
+# — by this point every name it needs is already bound.
+from .symbolic import (
+    CellSymbolicVerdict,
+    SymbolicEngine,
+    SymbolicVerdict,
+    WordSymbolicVerdict,
+)
 
 __all__ = [
     "AliasingWork",
     "BatchEngine",
     "CampaignRunner",
+    "CellSymbolicVerdict",
     "CompareWork",
     "DEFAULT_ENGINE",
     "Engine",
@@ -66,7 +85,13 @@ __all__ = [
     "ReferenceEngine",
     "RunResult",
     "SignatureWork",
+    "SymbolicElement",
+    "SymbolicEngine",
+    "SymbolicProgram",
+    "SymbolicVerdict",
+    "WordSymbolicVerdict",
     "compile_march",
+    "compile_symbolic",
     "engine_names",
     "execute_program",
     "get_engine",

@@ -1,7 +1,8 @@
 """Engine abstraction: run artifacts, the backend interface, registry.
 
-A *fault-simulation engine* executes compiled :class:`~repro.engine.program.MarchProgram`
-IR against a memory model.  Every engine must reproduce the operational
+A *fault-simulation engine* executes compiled
+:class:`~repro.engine.program.MarchProgram` IR against a memory model.
+Every engine must reproduce the operational
 semantics of the original interpreter bit-for-bit (see
 ``src/repro/engine/README.md`` for the exactness contract); engines are
 free to take shortcuts only where the shortcut is provably equivalent.
@@ -221,6 +222,26 @@ class Engine:
             )
         return out
 
+    def detect_symbolic(
+        self,
+        test: "MarchTest",
+        n_words: int,
+        faults: "Sequence[Fault]",
+        *,
+        derive_writes: bool = True,
+    ) -> list:
+        """Width-generic verdict objects for every fault in *faults*.
+
+        Only backends with a symbolic state model can answer this (the
+        registered ``symbolic`` engine); concrete backends raise
+        :class:`ExecutionError`.
+        """
+        raise ExecutionError(
+            f"engine {self.name!r} evaluates faults at a concrete width "
+            "and has no width-generic symbolic verdicts; use "
+            "get_engine('symbolic')"
+        )
+
     # -- helpers -------------------------------------------------------
     @staticmethod
     def _program(test: "MarchTest | MarchProgram", width: int) -> "MarchProgram":
@@ -268,6 +289,7 @@ def get_engine(spec: "str | Engine | None" = None) -> Engine:
     try:
         return _REGISTRY[name]
     except KeyError:
+        known = ", ".join(engine_names()) or "<none registered>"
         raise ValueError(
-            f"unknown engine {name!r}; registered: {', '.join(engine_names())}"
+            f"unknown engine {name!r}; registered engines: {known}"
         ) from None

@@ -19,11 +19,12 @@ re-running the same test over a million faults compiles once.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from ..core.element import AddressOrder
 from ..core.march import MarchTest
+from ..core.ops import Mask
 
 
 @dataclass(frozen=True)
@@ -162,6 +163,142 @@ def compile_march(test: MarchTest, width: int) -> MarchProgram:
     if width < 1:
         raise ValueError("width must be >= 1")
     return _compile_cached(test, width)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic (width-unresolved) programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymbolicElement:
+    """One march element with *unresolved* data masks.
+
+    ``steps`` mirrors :attr:`ProgramElement.steps` except that the data
+    mask stays a width-polymorphic :class:`~repro.core.ops.Mask`:
+    ``(is_read, relative, mask, derivable)``.
+    """
+
+    index: int
+    descending: bool
+    steps: tuple[tuple[bool, bool, Mask, bool], ...]
+
+    @property
+    def n_reads(self) -> int:
+        return sum(1 for is_read, _, _, _ in self.steps if is_read)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass(frozen=True)
+class SymbolicProgram:
+    """A march test lowered against *no* width at all.
+
+    The IR the width-generic symbolic engine consumes: the element /
+    derive-link structure of :class:`MarchProgram`, with every data
+    mask kept as a :class:`~repro.core.ops.Mask` whose per-bit values
+    are width-independent (``Mask.bit_at``).  ``at_width`` recovers the
+    ordinary concrete program for cross-checking.
+    """
+
+    name: str
+    elements: tuple[SymbolicElement, ...]
+    test: MarchTest = field(compare=False)
+
+    def __iter__(self) -> Iterator[SymbolicElement]:
+        return iter(self.elements)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(e) for e in self.elements)
+
+    @property
+    def n_reads(self) -> int:
+        return sum(e.n_reads for e in self.elements)
+
+    @property
+    def derivable(self) -> bool:
+        """True when every relative write has a feeding read (same
+        contract as :attr:`MarchProgram.derivable`)."""
+        return all(
+            derivable for e in self.elements for _, _, _, derivable in e.steps
+        )
+
+    @property
+    def min_width(self) -> int:
+        """Smallest word width every mask of the program resolves at
+        (``bit(j)`` patterns need ``width > j``; everything else fits
+        any width)."""
+        return max(
+            (mask.min_width for e in self.elements for _, _, mask, _ in e.steps),
+            default=1,
+        )
+
+    def at_width(self, width: int) -> MarchProgram:
+        """The concrete :class:`MarchProgram` of the same test."""
+        return compile_march(self.test, width)
+
+    def bit_plan(
+        self, position: int
+    ) -> tuple[tuple[tuple[bool, bool, int, bool], ...], ...]:
+        """Per-element step tuples with the mask reduced to its bit at
+        *position* — the width-generic single-bit view of the program
+        (cached per position)."""
+        return _bit_plan(self, position)
+
+    def bit_signature(self, position: int) -> tuple[int, ...]:
+        """The flattened tuple of every step mask's bit at *position*.
+
+        Two positions with equal signatures are indistinguishable to
+        the program, so any per-bit fault evaluation can be shared
+        between them (cached per position).
+        """
+        return _bit_signature(self, position)
+
+
+@functools.lru_cache(maxsize=4096)
+def _bit_plan(program: SymbolicProgram, position: int):
+    return tuple(
+        tuple(
+            (is_read, relative, mask.bit_at(position), derivable)
+            for is_read, relative, mask, derivable in element.steps
+        )
+        for element in program.elements
+    )
+
+
+@functools.lru_cache(maxsize=4096)
+def _bit_signature(program: SymbolicProgram, position: int) -> tuple[int, ...]:
+    return tuple(
+        mask.bit_at(position)
+        for element in program.elements
+        for _, _, mask, _ in element.steps
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def compile_symbolic(test: MarchTest) -> SymbolicProgram:
+    """Lower *test* to a :class:`SymbolicProgram` (cached).
+
+    The lowering mirrors :func:`compile_march` — address orders become
+    descriptors and derived writes get their data-flow link — but the
+    data masks stay symbolic, so the one program stands for every word
+    width at once.
+    """
+    elements = []
+    for ei, element in enumerate(test.elements):
+        steps = []
+        saw_read = False
+        for op in element.ops:
+            if op.is_read:
+                saw_read = True
+            derivable = op.is_read or not op.is_relative or saw_read
+            steps.append((op.is_read, op.is_relative, op.data.mask, derivable))
+        elements.append(
+            SymbolicElement(ei, element.order is AddressOrder.DOWN, tuple(steps))
+        )
+    return SymbolicProgram(test.name, tuple(elements), test)
 
 
 def pack_words(words: Sequence[int], width: int) -> int:

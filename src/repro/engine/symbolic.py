@@ -1,0 +1,671 @@
+"""Symbolic engine: width-generic single-fault campaign evaluation.
+
+The paper's Table 2 argues fault coverage *symbolically*: a transparent
+test's data is ``c ^ mask`` for width-polymorphic masks, and the bit of
+every mask at a fixed position ``j`` is the same for all word widths
+greater than ``j`` (:meth:`repro.core.ops.Mask.bit_at`).  Word
+operations are bitwise and every classic fault couples at most two bit
+positions, so the detection verdict of a fault decomposes into
+independent per-position behaviours that never mention the width.  This
+backend exploits that:
+
+* the state of a word is the Mask-algebra expression
+  ``(c if relative else 0) ^ mask`` of
+  :mod:`repro.analysis.symbolic` — *not* a concrete integer — and the
+  fault-free evolution of the whole address space is one symbolic
+  trace;
+* a fault is evaluated by an exact per-bit replay of the program over
+  its support slots (the ``(addr, bit)`` cells it can influence),
+  enumerated over the 2 or 4 possible initial values of those bits —
+  yielding a :class:`SymbolicVerdict` that holds for **every** word
+  width the fault fits in;
+* replays are shared through a *shape cache*: two faults whose support
+  positions have equal :meth:`~repro.engine.program.SymbolicProgram.
+  bit_signature` and equal parameters provably behave identically, so
+  a whole campaign costs one replay per distinct shape;
+* :meth:`SymbolicVerdict.concretize` projects a verdict back to any
+  concrete ``(width, words)`` for cross-checking against the
+  ``reference``/``batch`` engines (``python -m repro table2``).
+
+Address-decoder faults are the one word-wide class: their routing is
+still bitwise, so the verdict is evaluated per position and
+concretization ORs the positions of the target width — width-generic
+evaluation, width-dependent projection.
+
+The MISR signature/aliasing oracles are *not* offered: signature
+folding maps word bit ``j`` to register position ``j mod misr_width``,
+which is irreducibly width-concrete, so those entry points raise
+:class:`ExecutionError` pointing at the concrete engines.
+
+Single executions (:meth:`SymbolicEngine.run`) use the reference
+interpreter unchanged: the symbolic acceleration is campaign-level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..analysis.symbolic import symbolic_trace
+from ..core.march import MarchTest
+from ..memory.faults import (
+    AddressDecoderFault,
+    Cell,
+    CouplingFault,
+    Fault,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from .base import Engine, ExecutionError, ReadSink, RunResult, register_engine
+from .program import SymbolicProgram, compile_symbolic
+from .reference import execute_program
+
+
+class SymbolicEngine(Engine):
+    """Width-generic campaign backend over the symbolic IR."""
+
+    name = "symbolic"
+
+    def __init__(self, max_contexts: int = 8) -> None:
+        self._contexts: dict = {}
+        self._max_contexts = max_contexts
+
+    # -- single runs (concrete, via the interpreter) -------------------
+    def run(
+        self,
+        test,
+        memory,
+        *,
+        snapshot: Sequence[int] | None = None,
+        collect: bool = False,
+        stop_on_mismatch: bool = False,
+        read_sink: ReadSink | None = None,
+        derive_writes: bool = True,
+    ) -> RunResult:
+        if isinstance(test, SymbolicProgram):
+            test = test.test
+        program = self._program(test, memory.width)
+        return execute_program(
+            program,
+            memory,
+            snapshot=snapshot,
+            collect=collect,
+            stop_on_mismatch=stop_on_mismatch,
+            read_sink=read_sink,
+            derive_writes=derive_writes,
+        )
+
+    # -- campaign entry points -----------------------------------------
+    def detect_batch(
+        self,
+        test,
+        n_words: int,
+        width: "int | str | None",
+        words: Sequence[int] | None,
+        faults: Sequence[Fault],
+        *,
+        derive_writes: bool = True,
+    ) -> list:
+        """Compare-oracle verdicts through one symbolic evaluation.
+
+        With a concrete *width* the verdicts are plain bools — each
+        fault is evaluated once, width-generically, then concretized at
+        ``(width, words)`` — so the engine drops into ``run_campaign``
+        /"CampaignRunner`` wherever ``reference``/``batch`` do.  With
+        ``width=None`` (or ``"symbolic"``) the *words* are ignored and
+        the raw :class:`SymbolicVerdict` objects are returned instead.
+        """
+        program = self._symbolic(test)
+        if width is None or width == "symbolic":
+            return self.detect_symbolic(
+                program, n_words, faults, derive_writes=derive_writes
+            )
+        program.at_width(width)  # surface unresolvable-mask errors early
+        if words is None or len(words) != n_words:
+            raise ExecutionError(
+                "initial content length does not match memory size"
+            )
+        if derive_writes and not program.derivable:
+            # An underivable program may still detect (or raise) fault
+            # by fault depending on where the first mismatch stops the
+            # run; only the interpreter reproduces that exactly.
+            return super().detect_batch(
+                program.test,
+                n_words,
+                width,
+                words,
+                faults,
+                derive_writes=derive_writes,
+            )
+        ctx = self._context(program, derive_writes)
+        words = [w & ((1 << width) - 1) for w in words]
+        out = []
+        for fault in faults:
+            fault.validate(n_words, width)
+            try:
+                verdict = ctx.verdict(fault)
+            except _NoSymbolicSemantics:
+                out.append(self._fallback(program, width, words, fault, derive_writes))
+                continue
+            out.append(verdict.concretize(width, words))
+        return out
+
+    def detect_symbolic(
+        self,
+        test,
+        n_words: int,
+        faults: Sequence[Fault],
+        *,
+        derive_writes: bool = True,
+    ) -> "list[SymbolicVerdict]":
+        """Width-generic verdicts for every fault in *faults*.
+
+        Each verdict holds simultaneously for every word width the
+        fault fits in (``verdict.min_width``); project one back to a
+        concrete memory with :meth:`SymbolicVerdict.concretize`.
+        """
+        program = self._symbolic(test)
+        if derive_writes and not program.derivable:
+            raise ExecutionError(
+                f"{program.name}: an underivable program has no "
+                "width-generic verdicts (the interpreter may raise or "
+                "detect depending on concrete content); use the "
+                "reference engine"
+            )
+        ctx = self._context(program, derive_writes)
+        verdicts = []
+        for fault in faults:
+            _validate_addresses(fault, n_words)
+            try:
+                verdicts.append(ctx.verdict(fault))
+            except _NoSymbolicSemantics:
+                raise ExecutionError(
+                    f"no symbolic semantics for fault kind {fault.kind!r}; "
+                    "evaluate it through a concrete engine"
+                ) from None
+        return verdicts
+
+    def detect_signature_batch(self, *args, **kwargs):
+        raise ExecutionError(
+            "the symbolic engine has no MISR signature oracle: signature "
+            "folding maps word bit j to register position j mod "
+            "misr_width, which is width-concrete; run signature-mode "
+            "campaigns through engine='reference' or engine='batch'"
+        )
+
+    def detect_aliasing_batch(self, *args, **kwargs):
+        raise ExecutionError(
+            "the symbolic engine has no MISR aliasing oracle: signature "
+            "folding is width-concrete; run aliasing-mode campaigns "
+            "through engine='reference' or engine='batch'"
+        )
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _symbolic(test) -> SymbolicProgram:
+        if isinstance(test, SymbolicProgram):
+            return test
+        if isinstance(test, MarchTest):
+            return compile_symbolic(test)
+        raise ExecutionError(
+            "the symbolic engine needs the symbolic march test, not a "
+            f"width-lowered program ({test!r})"
+        )
+
+    def _context(
+        self, program: SymbolicProgram, derive_writes: bool
+    ) -> "_SymbolicCampaign":
+        key = (program, derive_writes)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            if len(self._contexts) >= self._max_contexts:
+                self._contexts.pop(next(iter(self._contexts)))
+            ctx = _SymbolicCampaign(program, derive_writes)
+            self._contexts[key] = ctx
+        return ctx
+
+    @staticmethod
+    def _fallback(program, width, words, fault, derive_writes) -> bool:
+        """Full-fidelity interpretation for fault kinds without
+        symbolic semantics (user-defined models)."""
+        from ..memory.injection import FaultyMemory
+
+        memory = FaultyMemory(len(words), width, [fault])
+        memory.load(words)
+        return execute_program(
+            program.at_width(width),
+            memory,
+            stop_on_mismatch=True,
+            derive_writes=derive_writes,
+        ).detected
+
+
+class _NoSymbolicSemantics(Exception):
+    """Internal: the fault kind has no per-bit replay model."""
+
+
+def _validate_addresses(fault: Fault, n_words: int) -> None:
+    """Address-bounds check without committing to a width (bit fit is
+    what ``SymbolicVerdict.min_width`` reports instead)."""
+    if isinstance(fault, AddressDecoderFault):
+        fault.validate(n_words, 1)
+        return
+    for cell in fault.cells:
+        if not 0 <= cell.addr < n_words:
+            raise ValueError(
+                f"{fault.describe()}: address {cell.addr} out of range"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Verdicts
+# ---------------------------------------------------------------------------
+
+
+class SymbolicVerdict:
+    """A width-generic detection verdict for one fault.
+
+    ``table`` (cell-confined faults) maps each assignment of the
+    support cells' initial bits to the detection verdict; the mapping
+    is provably identical for every word width the fault fits in.
+    :meth:`concretize` projects the verdict onto a concrete memory.
+    """
+
+    __slots__ = ("ctx", "fault", "min_width")
+
+    def __init__(self, ctx: "_SymbolicCampaign", fault: Fault) -> None:
+        self.ctx = ctx
+        self.fault = fault
+        self.min_width = 1 + max((c.bit for c in fault.cells), default=0)
+
+    @property
+    def width_independent(self) -> bool:
+        """True when the support verdict cannot change with the width
+        (concretization still adds the fault-free baseline of
+        ill-formed tests, which scans every position)."""
+        raise NotImplementedError
+
+    def concretize(self, width: int, words: Sequence[int]) -> bool:
+        """The concrete verdict at *width* for initial content *words*
+        — bit-identical to the reference engine's campaign verdict."""
+        raise NotImplementedError
+
+    def _baseline_outside(
+        self,
+        width: int,
+        words: Sequence[int],
+        excluded_cells: tuple[Cell, ...] = (),
+        excluded_addrs: frozenset = frozenset(),
+    ) -> bool:
+        """Fault-free mismatches anywhere the fault cannot reach
+        (non-empty only for ill-formed tests)."""
+        baseline = self.ctx.baseline_map(width, words)
+        if not baseline:
+            return False
+        for addr, positions in baseline.items():
+            if addr in excluded_addrs:
+                continue
+            for cell in excluded_cells:
+                if cell.addr == addr:
+                    positions &= ~(1 << cell.bit)
+            if positions:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.fault.describe()}>"
+
+
+class CellSymbolicVerdict(SymbolicVerdict):
+    """Verdict of a cell-confined fault (SAF/TF/RDF/DRDF/CF*): one
+    assignment table over the initial bits of the fault's cells."""
+
+    __slots__ = ("cells", "table")
+
+    def __init__(self, ctx, fault, cells, table) -> None:
+        super().__init__(ctx, fault)
+        self.cells = cells
+        self.table = table
+
+    @property
+    def width_independent(self) -> bool:
+        return True
+
+    def concretize(self, width: int, words: Sequence[int]) -> bool:
+        self.fault.validate(len(words), width)
+        assignment = tuple((words[cell.addr] >> cell.bit) & 1 for cell in self.cells)
+        if self.table[assignment]:
+            return True
+        return self._baseline_outside(width, words, excluded_cells=self.cells)
+
+
+class WordSymbolicVerdict(SymbolicVerdict):
+    """Verdict of an address-decoder fault: evaluated per bit position
+    (lazily, shape-cached), concretization ORs the positions of the
+    target width."""
+
+    __slots__ = ("support",)
+
+    def __init__(self, ctx, fault) -> None:
+        super().__init__(ctx, fault)
+        addrs = {fault.addr}
+        if fault.other_addr is not None:
+            addrs.add(fault.other_addr)
+        self.support = frozenset(addrs)
+
+    @property
+    def width_independent(self) -> bool:
+        return False
+
+    def position_table(self, position: int) -> dict:
+        """Assignment table of the support words' bits at *position*."""
+        return self.ctx.af_table(self.fault, position)
+
+    def concretize(self, width: int, words: Sequence[int]) -> bool:
+        fault = self.fault
+        fault.validate(len(words), width)
+        for j in range(width):
+            table = self.position_table(j)
+            assignment = ((words[fault.addr] >> j) & 1,)
+            if fault.other_addr is not None:
+                assignment += ((words[fault.other_addr] >> j) & 1,)
+            if table[assignment]:
+                return True
+        return self._baseline_outside(width, words, excluded_addrs=self.support)
+
+
+# ---------------------------------------------------------------------------
+# Campaign context: shape-cached per-bit replays
+# ---------------------------------------------------------------------------
+
+
+class _SymbolicCampaign:
+    """Shared per-(program, datapath) state of symbolic campaigns.
+
+    Holds the fault-free symbolic trace (the address-space state
+    model), the shape-keyed assignment tables, and the per-(width,
+    words) fault-free baseline of the most recent concretization.
+    """
+
+    def __init__(self, program: SymbolicProgram, derive_writes: bool) -> None:
+        self.program = program
+        self.derive = derive_writes
+        self.trace = symbolic_trace(program.test, derive_writes=derive_writes)
+        self._tables: dict = {}
+        self._fault_free: dict = {}
+        self._fault_free_by_position: dict = {}
+        self._baseline_key = None
+        self._baseline_value: dict = {}
+
+    # -- verdict construction ------------------------------------------
+    def verdict(self, fault: Fault) -> SymbolicVerdict:
+        if isinstance(fault, AddressDecoderFault):
+            return WordSymbolicVerdict(self, fault)
+        key = self._shape_key(fault)
+        if key is None:
+            raise _NoSymbolicSemantics(fault.kind)
+        table = self._tables.get(key)
+        if table is None:
+            table = self._cell_table(fault)
+            self._tables[key] = table
+        return CellSymbolicVerdict(self, fault, fault.cells, table)
+
+    def _shape_key(self, fault: Fault):
+        """Everything besides the initial support bits that the per-bit
+        replay can depend on; ``None`` for unknown fault kinds."""
+        program = self.program
+        if isinstance(fault, StuckAtFault):
+            return ("SAF", fault.value, program.bit_signature(fault.cell.bit))
+        if isinstance(fault, TransitionFault):
+            return ("TF", fault.rising, program.bit_signature(fault.cell.bit))
+        if isinstance(fault, ReadDisturbFault):
+            return (
+                "RDF",
+                fault.deceptive,
+                program.bit_signature(fault.cell.bit),
+            )
+        if isinstance(fault, CouplingFault):
+            aggr, vict = fault.aggressor, fault.victim
+            order = "intra" if fault.intra_word else aggr.addr < vict.addr
+            if isinstance(fault, StateCouplingFault):
+                params = (fault.aggressor_value, fault.forced_value)
+            elif isinstance(fault, IdempotentCouplingFault):
+                params = (fault.rising, fault.forced_value)
+            elif isinstance(fault, InversionCouplingFault):
+                params = (fault.rising,)
+            else:  # pragma: no cover - no other coupling kinds exist
+                return None
+            return (
+                fault.kind,
+                params,
+                order,
+                program.bit_signature(aggr.bit),
+                program.bit_signature(vict.bit),
+            )
+        return None
+
+    def _cell_table(self, fault: Fault) -> dict:
+        cells = fault.cells
+        slots = tuple((cell.addr, cell.bit) for cell in cells)
+        table = {}
+        for assignment in itertools.product((0, 1), repeat=len(slots)):
+            table[assignment] = self._replay(fault, slots, assignment)
+        return table
+
+    def af_table(self, fault: AddressDecoderFault, position: int) -> dict:
+        """Assignment table of one AF at one bit position (cached by
+        routing shape and position signature)."""
+        program = self.program
+        float_bit = (fault.float_value >> position) & 1
+        order = None if fault.other_addr is None else fault.addr < fault.other_addr
+        key = (
+            "AF",
+            fault.kind_code,
+            fault.wired_or,
+            float_bit,
+            order,
+            program.bit_signature(position),
+        )
+        table = self._tables.get(key)
+        if table is not None:
+            return table
+        slots = ((fault.addr, position),)
+        if fault.other_addr is not None:
+            slots += ((fault.other_addr, position),)
+        table = {}
+        for assignment in itertools.product((0, 1), repeat=len(slots)):
+            table[assignment] = self._replay(fault, slots, assignment)
+        self._tables[key] = table
+        return table
+
+    # -- the per-bit replay --------------------------------------------
+    def _replay(
+        self,
+        fault: Fault,
+        slots: tuple[tuple[int, int], ...],
+        init_bits: tuple[int, ...],
+    ) -> bool:
+        """Exact replay of the program over the fault's support slots.
+
+        Mirrors :class:`repro.engine.batch._SubsetSim` (itself a mirror
+        of :class:`~repro.memory.injection.FaultyMemory`) at bit
+        granularity: every semantic rule of the classic fault models is
+        per-cell, and march data is bitwise, so the slots evolve
+        exactly as the corresponding bits of a full concrete run — for
+        every word width at once.
+        """
+        derive = self.derive
+        n_slots = len(slots)
+        state = list(init_bits)
+
+        saf = fault if isinstance(fault, StuckAtFault) else None
+        tf = fault if isinstance(fault, TransitionFault) else None
+        rdf = fault if isinstance(fault, ReadDisturbFault) else None
+        cfst = fault if isinstance(fault, StateCouplingFault) else None
+        cfid = fault if isinstance(fault, IdempotentCouplingFault) else None
+        cfin = fault if isinstance(fault, InversionCouplingFault) else None
+        af = fault if isinstance(fault, AddressDecoderFault) else None
+
+        slot_index = {slot: i for i, slot in enumerate(slots)}
+        fault_slot = aggr_slot = vict_slot = None
+        if saf is not None or tf is not None or rdf is not None:
+            cell = fault.cells[0]
+            fault_slot = slot_index[(cell.addr, cell.bit)]
+        trigger = cfid if cfid is not None else cfin
+        if cfst is not None or trigger is not None:
+            aggr_slot = slot_index[(fault.aggressor.addr, fault.aggressor.bit)]
+            vict_slot = slot_index[(fault.victim.addr, fault.victim.bit)]
+        af_slot = af_partner = None
+        if af is not None:
+            af_slot = slot_index[(af.addr, slots[0][1])]
+            if af.other_addr is not None:
+                af_partner = slot_index[(af.other_addr, slots[0][1])]
+            af_float = (af.float_value >> slots[0][1]) & 1
+
+        def enforce() -> None:
+            if saf is not None:
+                state[fault_slot] = saf.value
+            if cfst is not None:
+                if state[aggr_slot] == cfst.aggressor_value:
+                    state[vict_slot] = cfst.forced_value
+
+        enforce()  # the loaded content already expresses the defect
+        snap = tuple(state)
+
+        ascending = sorted({addr for addr, _ in slots})
+        descending = ascending[::-1]
+        by_addr = {
+            addr: tuple(i for i, (a, _) in enumerate(slots) if a == addr)
+            for addr in ascending
+        }
+        plans = [self.program.bit_plan(pos) for _, pos in slots]
+
+        detected = False
+        last_raw = [0] * n_slots
+        last_mask = [0] * n_slots
+        for ei, element in enumerate(self.program.elements):
+            ordered = descending if element.descending else ascending
+            n_steps = len(element.steps)
+            for addr in ordered:
+                here = by_addr[addr]
+                for si in range(n_steps):
+                    is_read, relative, _, _ = element.steps[si]
+                    if is_read:
+                        for i in here:
+                            mbit = plans[i][ei][si][2]
+                            if af is not None and addr == af.addr:
+                                if af.kind_code == "none":
+                                    raw = af_float
+                                elif af.kind_code == "other":
+                                    raw = state[af_partner]
+                                elif af.wired_or:
+                                    raw = state[af_slot] | state[af_partner]
+                                else:
+                                    raw = state[af_slot] & state[af_partner]
+                            elif rdf is not None and i == fault_slot:
+                                value = state[i]
+                                state[i] = value ^ 1
+                                raw = value if rdf.deceptive else value ^ 1
+                            else:
+                                raw = state[i]
+                            expected = (snap[i] ^ mbit) if relative else mbit
+                            if raw != expected:
+                                detected = True
+                            last_raw[i] = raw
+                            last_mask[i] = mbit
+                    else:
+                        old = list(state)
+                        for i in here:
+                            mbit = plans[i][ei][si][2]
+                            if relative and derive:
+                                value = last_raw[i] ^ last_mask[i] ^ mbit
+                            elif relative:
+                                value = snap[i] ^ mbit
+                            else:
+                                value = mbit
+                            if af is not None:
+                                if addr == af.addr:
+                                    if af.kind_code == "other":
+                                        state[af_partner] = value
+                                    elif af.kind_code == "multi":
+                                        state[af_slot] = value
+                                        state[af_partner] = value
+                                    # "none": write lost
+                                else:
+                                    state[i] = value
+                                continue
+                            if saf is not None and i == fault_slot:
+                                value = saf.value
+                            elif tf is not None and i == fault_slot:
+                                blocked = (
+                                    tf.rising and old[i] == 0 and value == 1
+                                ) or (
+                                    not tf.rising and old[i] == 1 and value == 0
+                                )
+                                if blocked:
+                                    value = old[i]
+                            state[i] = value
+                        if trigger is not None and aggr_slot in here:
+                            a_old = old[aggr_slot]
+                            a_new = state[aggr_slot]
+                            if a_old != a_new and (a_new == 1) == trigger.rising:
+                                if cfid is not None:
+                                    state[vict_slot] = cfid.forced_value
+                                else:
+                                    state[vict_slot] ^= 1
+                        if cfst is not None or saf is not None:
+                            enforce()
+        return detected
+
+    # -- fault-free baseline (from the symbolic trace) -----------------
+    def fault_free_table(self, position: int) -> tuple[bool, bool]:
+        """``(mismatch if c_bit=0, mismatch if c_bit=1)`` of a
+        fault-free word at *position* — all-False for well-formed
+        tests; derived from the symbolic mask trace, cached by position
+        signature."""
+        cached = self._fault_free_by_position.get(position)
+        if cached is not None:
+            return cached
+        signature = self.program.bit_signature(position)
+        table = self._fault_free.get(signature)
+        if table is None:
+            hit0 = hit1 = False
+            for step in self.trace.read_steps:
+                if not hit0 and step.read_mismatch_bit(position, 0):
+                    hit0 = True
+                if not hit1 and step.read_mismatch_bit(position, 1):
+                    hit1 = True
+                if hit0 and hit1:
+                    break
+            table = (hit0, hit1)
+            self._fault_free[signature] = table
+        self._fault_free_by_position[position] = table
+        return table
+
+    def baseline_map(self, width: int, words: Sequence[int]) -> dict[int, int]:
+        """Per-address bitmask of positions where the fault-free run
+        mismatches for this concrete content (empty for well-formed
+        tests; cached for the most recent ``(width, words)``)."""
+        key = (width, tuple(words))
+        if self._baseline_key == key:
+            return self._baseline_value
+        tables = [self.fault_free_table(j) for j in range(width)]
+        result: dict[int, int] = {}
+        if any(t[0] or t[1] for t in tables):
+            for addr, word in enumerate(words):
+                positions = 0
+                for j, table in enumerate(tables):
+                    if table[(word >> j) & 1]:
+                        positions |= 1 << j
+                if positions:
+                    result[addr] = positions
+        self._baseline_key = key
+        self._baseline_value = result
+        return result
+
+
+register_engine(SymbolicEngine())

@@ -15,7 +15,9 @@ from repro.core.backgrounds import (
 
 
 class TestLog2Width:
-    @pytest.mark.parametrize("width,expected", [(1, 0), (2, 1), (4, 2), (8, 3), (32, 5), (128, 7)])
+    @pytest.mark.parametrize(
+        "width,expected", [(1, 0), (2, 1), (4, 2), (8, 3), (32, 5), (128, 7)]
+    )
     def test_powers(self, width, expected):
         assert log2_width(width) == expected
 

@@ -116,6 +116,70 @@ class TestCoverage:
         assert "aliased" in out
         assert "jobs=2" in out
 
+    def test_symbolic_engine(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+                "--engine", "symbolic",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine: symbolic" in out
+        assert "overall" in out
+
+    def test_symbolic_engine_rejects_signature_mode(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+                "--engine", "symbolic",
+                "--mode", "signature",
+            ]
+        ) == 2
+        assert "width-concrete" in capsys.readouterr().err
+
+
+class TestTable2:
+    def test_cross_check_passes(self, capsys):
+        assert main(
+            [
+                "table2",
+                "--widths", "4,8",
+                "--words", "3",
+                "--max-inter-pairs", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "vs reference" in out and "vs batch" in out
+        assert "symbolic verdicts match" in out
+
+    def test_single_engine_diff(self, capsys):
+        assert main(
+            [
+                "table2",
+                "March U",
+                "--widths", "4",
+                "--words", "2",
+                "--max-inter-pairs", "2",
+                "--engines", "batch",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "March U" in out
+        assert "vs reference" not in out
+
+    def test_unknown_test(self, capsys):
+        assert main(["table2", "March Z", "--widths", "4"]) == 2
+        assert "March Z" in capsys.readouterr().err
+
 
 class TestValidate:
     def test_valid_solid(self, capsys):

@@ -15,9 +15,9 @@ from repro.analysis.coverage import (
 from repro.core.twm import nontransparent_word_reference, twm_transform
 from repro.library import catalog
 from repro.memory.injection import (
+    enumerate_inter_word_cf,
     enumerate_stuck_at,
     enumerate_transition,
-    enumerate_inter_word_cf,
     standard_fault_universe,
 )
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.notation import NotationError, format_march, parse_march
 from repro.core.element import AddressOrder
+from repro.core.notation import NotationError, format_march, parse_march
 from repro.core.ops import DataExpr, Mask, checker
 from repro.library import catalog
 

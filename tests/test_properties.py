@@ -6,12 +6,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bist.executor import run_march
 from repro.bist.misr import Misr, signature_of
-from repro.core.backgrounds import covers_all_pairs, checker_backgrounds
+from repro.core.backgrounds import checker_backgrounds, covers_all_pairs
 from repro.core.element import AddressOrder, MarchElement
 from repro.core.march import MarchTest
 from repro.core.notation import format_march, parse_march
-from repro.core.ops import Mask, Op, checkerboard, checker
-from repro.core.signature import prediction_test
+from repro.core.ops import Mask, Op, checker, checkerboard
 from repro.core.transparent import to_transparent
 from repro.core.twm import twm_transform
 from repro.core.validate import validate_solid, validate_transparent

@@ -7,15 +7,18 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines.scheme1 import scheme1_transform
 from repro.baselines.tomt import tomt_test
 from repro.bist.executor import run_march
-from repro.bist.symmetry import SymmetricBist, is_symmetric, symmetrize, XorAccumulator
+from repro.bist.symmetry import (
+    SymmetricBist,
+    XorAccumulator,
+    is_symmetric,
+    symmetrize,
+)
 from repro.core.notation import parse_march
 from repro.core.twm import twm_transform
 from repro.core.validate import validate_transparent
-from repro.library import catalog
 from repro.memory.faults import AddressDecoderFault, Cell, ReadDisturbFault
 from repro.memory.injection import FaultyMemory
 from repro.memory.model import Memory
-
 from tests.test_properties import bit_march_tests  # reuse the strategy
 
 widths = st.sampled_from([1, 2, 4, 8, 16])

@@ -1,8 +1,14 @@
-"""Tests for the symbolic word tracker (Table 1 machinery)."""
+"""Tests for the symbolic content tracker (Table 1 + trace machinery)."""
 
 import pytest
 
-from repro.analysis.symbolic import symbolic_rows, table1_rows
+from repro.analysis.symbolic import (
+    SymbolicContent,
+    symbolic_rows,
+    symbolic_trace,
+    table1_rows,
+)
+from repro.core.notation import parse_march
 from repro.core.ops import Mask, checker
 from repro.core.twm import atmarch, twm_transform
 from repro.library import catalog
@@ -54,6 +60,87 @@ class TestSymbolicRows:
         tail = atmarch(4, inverted=False)
         rows = symbolic_rows(tail)
         assert rows[0].content_string(4, symbol="x") == "x3 x2 x1 x0"
+
+
+class TestSymbolicTrace:
+    """The full-address-space generalization behind the symbolic engine."""
+
+    def test_transparent_content_matches_rows(self):
+        tail = atmarch(8, inverted=False)
+        trace = symbolic_trace(tail)
+        rows = symbolic_rows(tail)
+        assert len(trace.steps) == len(rows)
+        for step, row in zip(trace.steps, rows):
+            assert step.content_after.relative
+            assert step.content_after.mask == row.content_mask
+
+    def test_solid_test_drops_c(self):
+        trace = symbolic_trace(catalog.get("March C-"))
+        # After the first absolute write, content is a bare background.
+        first_write = next(s for s in trace.steps if not s.is_read)
+        assert not first_write.content_after.relative
+        assert trace.final.relative is False
+
+    def test_initial_content_is_c(self):
+        trace = symbolic_trace(atmarch(4, inverted=False))
+        assert trace.steps[0].content_before == SymbolicContent(True, Mask.ZERO)
+        assert trace.content_entering(0).mask.is_zero
+
+    def test_element_boundaries(self):
+        tail = atmarch(8, inverted=False)
+        trace = symbolic_trace(tail)
+        # Every ATMarch element restores the content to plain c.
+        for element_index in range(len(tail.elements)):
+            assert trace.content_leaving(element_index).mask.is_zero
+        with pytest.raises(IndexError):
+            trace.content_entering(99)
+
+    def test_derived_writes_well_formed_equal_oracle(self):
+        tail = atmarch(8, inverted=False)
+        oracle = symbolic_trace(tail, derive_writes=False)
+        derived = symbolic_trace(tail, derive_writes=True)
+        for a, b in zip(oracle.steps, derived.steps):
+            assert a.content_after == b.content_after
+
+    def test_derived_writes_ill_formed_diverge(self):
+        # rc^1 feeds the derived write, so the stored value picks up
+        # the extra inversion the oracle datapath would not.
+        ill = parse_march("⇕(rc^1,wc); ⇕(rc)", name="ill")
+        oracle = symbolic_trace(ill, derive_writes=False)
+        derived = symbolic_trace(ill, derive_writes=True)
+        assert oracle.steps[1].content_after.mask.is_zero
+        assert derived.steps[1].content_after.mask == Mask.ONES
+
+    def test_underivable_raises(self):
+        bad = parse_march("⇕(wc); ⇕(rc)", name="bad")
+        with pytest.raises(ValueError, match="no preceding read"):
+            symbolic_trace(bad, derive_writes=True)
+        # The oracle view is still defined.
+        assert symbolic_trace(bad, derive_writes=False).final.relative
+
+    def test_read_mismatch_bits(self):
+        well = atmarch(8, inverted=False)
+        trace = symbolic_trace(well)
+        assert not any(
+            step.read_mismatch_bit(j, c)
+            for step in trace.read_steps
+            for j in range(8)
+            for c in (0, 1)
+        )
+        ill = parse_march("⇕(rc^1,wc); ⇕(rc)", name="ill2")
+        ill_trace = symbolic_trace(ill)
+        assert all(
+            ill_trace.read_steps[0].read_mismatch_bit(j, c)
+            for j in range(8)
+            for c in (0, 1)
+        )
+
+    def test_content_bit_at_is_width_generic(self):
+        content = SymbolicContent(True, Mask.of(checker(1)))
+        for width in (4, 8, 32):
+            resolved = content.resolve(width, initial=0)
+            for j in range(width):
+                assert (resolved >> j) & 1 == content.bit_at(j, 0)
 
 
 class TestTable1:

@@ -16,7 +16,7 @@ from repro.bist.symmetry import (
 from repro.core.notation import parse_march
 from repro.core.twm import twm_transform
 from repro.library import catalog
-from repro.memory.faults import Cell, StuckAtFault, TransitionFault
+from repro.memory.faults import Cell, StuckAtFault
 from repro.memory.injection import FaultyMemory
 from repro.memory.model import Memory
 

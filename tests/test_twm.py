@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.backgrounds import log2_width
-from repro.core.march import MarchTest
 from repro.core.notation import parse_march
 from repro.core.twm import (
     TWMError,
@@ -88,7 +87,9 @@ class TestMarchCMinus32:
 
 
 class TestFormulaConsistency:
-    @pytest.mark.parametrize("name", ["March C-", "March X", "March Y", "March C", "March LR"])
+    @pytest.mark.parametrize(
+        "name", ["March C-", "March X", "March Y", "March C", "March LR"]
+    )
     @pytest.mark.parametrize("width", [2, 4, 8, 16, 32, 64, 128])
     def test_tcm_formula_for_read_ending_tests(self, name, width):
         # Tests satisfying the paper's assumptions: TCM = N + 5*log2 b.
