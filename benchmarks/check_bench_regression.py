@@ -2,12 +2,21 @@
 
 ``BENCH_engine.json`` (repo root) is the tracked perf trajectory of the
 engine subsystem.  This gate compares a freshly produced copy against
-the committed baseline and fails when any batch-vs-reference speedup
-ratio of the base workload drops below ``--threshold`` (default 0.7)
-times its baseline value — i.e. the batch engine lost more than 30% of
-its relative advantage.  Ratios are compared, not absolute seconds, so
-the gate is robust to slow or noisy CI hosts: both engines run on the
-same machine in the same job.
+the committed baseline and fails when:
+
+* any ``speedup_batch_vs_reference`` ratio — of **every** base-workload
+  oracle leg: compare, signature, aliasing and aliasing_narrow — drops
+  below ``--threshold`` (default 0.7) times its baseline value, i.e.
+  the batch engine lost more than 30% of its relative advantage.
+  Ratios are compared, not absolute seconds, so the gate is robust to
+  slow or noisy CI hosts: both engines run on the same machine in the
+  same job;
+* any scaled-workload ``speedup_jobs_vs_batch`` ratio falls below the
+  absolute ``--jobs-floor`` (default 1.2x) — the persistent-worker
+  runner must *beat* single-process batch, not merely match it.  These
+  assertions are **skipped with an explicit note when the fresh run's
+  ``cpu_count`` is 1**: process sharding cannot exceed 1x on a
+  single-CPU host, so the jobs legs are reported but not gated there.
 
 Usage::
 
@@ -25,31 +34,56 @@ import pathlib
 import sys
 
 DEFAULT_THRESHOLD = 0.7
+DEFAULT_JOBS_FLOOR = 1.2
+
+# The batch-vs-reference gate covers every oracle leg of the base
+# workload — signature and aliasing included, not just compare.
+BATCH_MODES = ("compare", "signature", "aliasing", "aliasing_narrow")
 
 
-def speedup_ratios(payload: dict) -> dict[str, float]:
-    """``{workload/mode: speedup}`` for every ratio the gate watches."""
+def speedup_ratios(payload: dict, key: str) -> dict[str, float]:
+    """``{workload/mode: ratio}`` for one speedup key of the payload."""
     ratios: dict[str, float] = {}
     for workload_name, workload in payload.get("workloads", {}).items():
         for mode_name, mode in workload.get("modes", {}).items():
-            for key in ("speedup_batch_vs_reference",):
-                if key in mode:
-                    ratios[f"{workload_name}/{mode_name}"] = mode[key]
+            if key in mode:
+                ratios[f"{workload_name}/{mode_name}"] = mode[key]
     return ratios
 
 
-def check(baseline: dict, fresh: dict, threshold: float) -> list[str]:
-    """Human-readable failures (empty when the gate passes)."""
-    failures = []
+def check(
+    baseline: dict,
+    fresh: dict,
+    threshold: float,
+    jobs_floor: float,
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` — failures empty when the gate passes."""
+    failures: list[str] = []
+    notes: list[str] = []
     if not fresh.get("checks", {}).get("all_vectors_identical", False):
         failures.append(
             "fresh benchmark reports non-identical coverage vectors "
             "(checks.all_vectors_identical is false)"
         )
-    baseline_ratios = speedup_ratios(baseline)
-    fresh_ratios = speedup_ratios(fresh)
+    if fresh.get("checks", {}).get("mixed_aliasing_reused_contexts") is False:
+        failures.append(
+            "mixed-mode aliasing campaign rebuilt session contexts "
+            "(checks.mixed_aliasing_reused_contexts is false) — the "
+            "signature/aliasing context sharing regressed"
+        )
+
+    # -- batch vs reference: every oracle leg ---------------------------
+    baseline_ratios = speedup_ratios(baseline, "speedup_batch_vs_reference")
+    fresh_ratios = speedup_ratios(fresh, "speedup_batch_vs_reference")
     if not baseline_ratios:
         failures.append("baseline carries no speedup ratios to compare")
+    gated_modes = {leg.split("/", 1)[1] for leg in baseline_ratios}
+    missing_modes = [m for m in BATCH_MODES if m not in gated_modes]
+    if missing_modes:
+        failures.append(
+            "baseline is missing batch-vs-reference legs for modes: "
+            + ", ".join(missing_modes)
+        )
     for leg, base_value in sorted(baseline_ratios.items()):
         fresh_value = fresh_ratios.get(leg)
         if fresh_value is None:
@@ -62,7 +96,30 @@ def check(baseline: dict, fresh: dict, threshold: float) -> list[str]:
                 f"{threshold:.0%} of baseline {base_value:.2f}x "
                 f"(floor {floor:.2f}x)"
             )
-    return failures
+
+    # -- jobs vs batch: absolute floor, skipped on 1-CPU hosts ----------
+    jobs_ratios = speedup_ratios(fresh, "speedup_jobs_vs_batch")
+    cpu_count = fresh.get("cpu_count") or 1
+    if cpu_count < 2:
+        notes.append(
+            "cpu_count == 1: skipping the speedup_jobs_vs_batch "
+            f"assertions ({len(jobs_ratios)} legs reported, not gated) — "
+            "process sharding cannot exceed 1x on a single-CPU host"
+        )
+    else:
+        if not jobs_ratios:
+            failures.append(
+                "fresh benchmark carries no speedup_jobs_vs_batch legs "
+                f"to gate (cpu_count={cpu_count})"
+            )
+        for leg, value in sorted(jobs_ratios.items()):
+            if value < jobs_floor:
+                failures.append(
+                    f"{leg}: persistent-worker speedup {value:.2f}x is "
+                    f"below the {jobs_floor:.2f}x floor "
+                    f"(cpu_count={cpu_count})"
+                )
+    return failures, notes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,29 +140,40 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
-        help="minimum fresh/baseline ratio fraction (default %(default)s)",
+        help="minimum fresh/baseline batch-vs-reference ratio fraction "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs-floor",
+        type=float,
+        default=DEFAULT_JOBS_FLOOR,
+        help="absolute minimum jobs-vs-batch speedup on multi-core "
+        "hosts (default %(default)s; skipped when cpu_count == 1)",
     )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    failures = check(baseline, fresh, args.threshold)
+    failures, notes = check(baseline, fresh, args.threshold, args.jobs_floor)
 
-    fresh_ratios = speedup_ratios(fresh)
-    baseline_ratios = speedup_ratios(baseline)
-    for leg in sorted(set(baseline_ratios) | set(fresh_ratios)):
-        base_value = baseline_ratios.get(leg)
-        fresh_value = fresh_ratios.get(leg)
-        base_text = "-" if base_value is None else f"{base_value:.2f}x"
-        fresh_text = "-" if fresh_value is None else f"{fresh_value:.2f}x"
-        print(f"  {leg}: baseline {base_text} -> fresh {fresh_text}")
+    for key in ("speedup_batch_vs_reference", "speedup_jobs_vs_batch"):
+        fresh_ratios = speedup_ratios(fresh, key)
+        baseline_ratios = speedup_ratios(baseline, key)
+        for leg in sorted(set(baseline_ratios) | set(fresh_ratios)):
+            base_value = baseline_ratios.get(leg)
+            fresh_value = fresh_ratios.get(leg)
+            base_text = "-" if base_value is None else f"{base_value:.2f}x"
+            fresh_text = "-" if fresh_value is None else f"{fresh_value:.2f}x"
+            print(f"  {key} {leg}: baseline {base_text} -> fresh {fresh_text}")
+    for note in notes:
+        print(f"note: {note}")
 
     if failures:
         print("bench-regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"bench-regression gate passed ({len(baseline_ratios)} ratios)")
+    print("bench-regression gate passed")
     return 0
 
 

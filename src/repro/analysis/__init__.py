@@ -28,6 +28,13 @@ from .states import (
     state_sequence,
     two_cell_trace,
 )
+from .sweep import (
+    SWEEP_WIDTHS,
+    WidthSweepReport,
+    WidthSweepRow,
+    campaign_width_sweep,
+    symbolic_width_sweep,
+)
 from .symbolic import (
     SymbolicContent,
     SymbolicRow,
@@ -48,6 +55,7 @@ __all__ = [
     "Diagnosis",
     "IntraWordConditions",
     "PairConditionCoverage",
+    "SWEEP_WIDTHS",
     "SignatureFlow",
     "SymbolicContent",
     "SymbolicRow",
@@ -56,8 +64,11 @@ __all__ = [
     "Table2Row",
     "TraceStep",
     "TwoCellEvent",
+    "WidthSweepReport",
+    "WidthSweepRow",
     "aliasing_flow",
     "analyse_records",
+    "campaign_width_sweep",
     "compare_flow",
     "compare_reports",
     "diagnose_memory",
@@ -70,6 +81,7 @@ __all__ = [
     "state_sequence",
     "symbolic_rows",
     "symbolic_trace",
+    "symbolic_width_sweep",
     "table1_rows",
     "table2_report",
     "two_cell_trace",

@@ -44,6 +44,7 @@ from ..engine import (
     AliasingWork,
     CampaignRunner,
     CompareWork,
+    ContextStats,
     Engine,
     SignatureWork,
     get_engine,
@@ -121,6 +122,11 @@ class CampaignReport:
     stats: dict[str, ClassStats] = field(default_factory=dict)
     engine: str | None = None
     jobs: int = 1
+    # Campaign-context cache counters of the run (None for bare
+    # callable flows, which bypass the engine's batch paths entirely):
+    # how many contexts were built, how long the builds took, and how
+    # many chunk/class evaluations hit a warm context instead.
+    context_stats: ContextStats | None = None
 
     @property
     def total(self) -> int:
@@ -182,6 +188,8 @@ class CampaignReport:
                 f"  aliased: {self.aliased}/{self.total} "
                 f"({self.aliased_percent:.2f}%)"
             )
+        if self.context_stats is not None:
+            lines.append(f"  contexts: {self.context_stats.render()}")
         return "\n".join(lines)
 
 
@@ -230,6 +238,7 @@ def run_campaign(
     keep_undetected: int = 16,
     engine: str | Engine | None = None,
     jobs: int = 1,
+    runner: CampaignRunner | None = None,
     progress: ProgressCallback | None = None,
 ) -> CampaignReport:
     """Simulate every fault in *universe* through *flow*.
@@ -247,6 +256,15 @@ def run_campaign(
     timing as soon as each class completes, so long campaigns expose
     early statistics instead of a single final report.
 
+    Batch-path campaigns run through a :class:`CampaignRunner` whose
+    context cache amortizes the per-campaign engine state (bit-planes,
+    weight tables, fault-free baselines) across every class and chunk;
+    the counters land in :attr:`CampaignReport.context_stats`.  Pass a
+    *runner* to share that state across **several** campaigns — e.g.
+    one per oracle mode over the same session — with persistent worker
+    processes; a caller-supplied runner is left open (close it
+    yourself) and its engine is used when ``engine`` is not given.
+
     An :class:`AliasingFlow` yields a *pair-verdict* campaign:
     ``detected`` counts the realistic signature oracle, and every
     :class:`ClassCoverage` additionally carries ``stream_detected`` and
@@ -254,7 +272,15 @@ def run_campaign(
     callable returning anything but a bool (e.g. a verdict tuple)
     raises :class:`TypeError` instead of being counted as truthy.
     """
-    eng = get_engine(engine) if engine is not None else None
+    if runner is not None and engine is None:
+        eng = runner.engine
+    else:
+        eng = get_engine(engine) if engine is not None else None
+    if runner is not None and eng is not None and runner.engine is not eng:
+        raise ValueError(
+            f"shared runner executes engine {runner.engine.name!r} but the "
+            f"campaign requested {getattr(eng, 'name', eng)!r}"
+        )
     work = flow.work_unit() if (
         eng is not None
         and isinstance(flow, (CompareFlow, SignatureFlow, AliasingFlow))
@@ -263,8 +289,12 @@ def run_campaign(
     # Attribute stats to the backend that actually ran: a bare callable
     # cannot be batched, so the engine is bypassed entirely.
     engine_label = eng.name if work is not None else "flow"
-    sharded = work is not None and jobs > 1
-    runner = CampaignRunner(eng, jobs) if sharded else None
+    owns_runner = False
+    if work is None:
+        runner = None  # per-fault flows bypass the engine machinery
+    elif runner is None:
+        runner = CampaignRunner(eng, jobs)
+        owns_runner = True
     report = CampaignReport(
         flow_name,
         engine=eng.name if work is not None else None,
@@ -273,6 +303,8 @@ def run_campaign(
         jobs=runner.jobs if runner is not None else 1,
     )
     if runner is not None:
+        # A no-op when a shared runner already bound this work and
+        # universe (the mixed-mode fast path keeping workers warm).
         runner.bind(work, universe)
     try:
         for class_name, faults in universe.items():
@@ -281,8 +313,6 @@ def run_campaign(
                 verdicts = runner.detect_class(
                     work, faults, class_name=class_name
                 )
-            elif work is not None:
-                verdicts = work.run(eng, faults)
             else:
                 verdicts = [flow(fault) for fault in faults]
             detected = 0
@@ -323,7 +353,12 @@ def run_campaign(
                 progress(coverage, stats)
     finally:
         if runner is not None:
-            runner.close()
+            # Per-campaign delta, drained even when the campaign
+            # raises — a shared runner must not leak this campaign's
+            # counters into the next campaign's attribution.
+            report.context_stats = runner.take_stats()
+            if owns_runner:
+                runner.close()
     return report
 
 

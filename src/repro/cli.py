@@ -21,6 +21,11 @@ Commands
     with *pair verdicts*: every class reports stream-detected and
     aliased counts (stream-detected but signature-missed) next to the
     signature coverage, the quantity behind the Section 5 comparison.
+    ``--mode`` also takes a comma-separated list (or ``all``): the
+    modes run back to back through one persistent runner, whose
+    campaign-context cache (and worker processes, with ``--jobs``)
+    survives across them — every report carries a ``contexts:`` line
+    with the cache's built/hit/miss counters and build seconds.
     ``--engine symbolic`` evaluates compare-mode campaigns through the
     width-generic symbolic backend (signature/aliasing modes are
     width-concrete and rejected with a clear error).
@@ -52,7 +57,7 @@ from .core.complexity import table3_rows
 from .core.notation import NotationError, format_march, parse_march
 from .core.twm import twm_transform
 from .core.validate import validate_solid, validate_transparent
-from .engine import ExecutionError, engine_names
+from .engine import CampaignRunner, ExecutionError, engine_names
 from .library import catalog
 from .memory.injection import standard_fault_universe
 
@@ -135,8 +140,26 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
+_COVERAGE_MODES = ("compare", "signature", "aliasing")
+
+
+def _parse_modes(spec: str) -> list[str]:
+    """``--mode`` value → ordered mode list (``all`` = every oracle)."""
+    if spec == "all":
+        return list(_COVERAGE_MODES)
+    modes = [m.strip() for m in spec.split(",") if m.strip()]
+    unknown = [m for m in modes if m not in _COVERAGE_MODES]
+    if not modes or unknown:
+        raise ValueError(
+            f"--mode expects a comma-separated subset of "
+            f"{', '.join(_COVERAGE_MODES)} (or 'all'); got {spec!r}"
+        )
+    return modes
+
+
 def _cmd_coverage(args: argparse.Namespace) -> int:
     test = catalog.get(args.name)
+    modes = _parse_modes(args.mode)
     result = twm_transform(test, args.width)
     universe = standard_fault_universe(
         args.words,
@@ -146,43 +169,64 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         include_rdf=not args.no_extension_classes,
         include_af=not args.no_extension_classes,
     )
-    if args.mode == "signature":
-        flow = signature_flow(
-            result.twmarch,
-            result.prediction,
-            args.words,
-            args.width,
-            misr_width=args.misr_width,
-            initial=None,
-            seed=args.seed,
-        )
-    elif args.mode == "aliasing":
-        flow = aliasing_flow(
-            result.twmarch,
-            result.prediction,
-            args.words,
-            args.width,
-            misr_width=args.misr_width,
-            initial=None,
-            seed=args.seed,
-        )
-    else:
-        flow = compare_flow(
-            result.twmarch, args.words, args.width, initial=None, seed=args.seed
-        )
-    report = run_campaign(
-        flow,
-        universe,
-        flow_name=f"TWMarch {args.name} [{args.mode}]",
-        engine=args.engine,
-        jobs=args.jobs,
-    )
-    print(report.render())
-    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
-    print(
-        f"  engine: {args.engine}{jobs_note} "
-        f"({report.total} faults in {report.seconds:.3f}s)"
-    )
+    flows = {}
+    for mode in modes:
+        if mode == "signature":
+            flows[mode] = signature_flow(
+                result.twmarch,
+                result.prediction,
+                args.words,
+                args.width,
+                misr_width=args.misr_width,
+                initial=None,
+                seed=args.seed,
+            )
+        elif mode == "aliasing":
+            flows[mode] = aliasing_flow(
+                result.twmarch,
+                result.prediction,
+                args.words,
+                args.width,
+                misr_width=args.misr_width,
+                initial=None,
+                seed=args.seed,
+            )
+        else:
+            flow = compare_flow(
+                result.twmarch,
+                args.words,
+                args.width,
+                initial=None,
+                seed=args.seed,
+            )
+            flows[mode] = flow
+    # One persistent runner serves every requested mode: worker
+    # processes and their campaign-context caches survive across the
+    # whole run, so a mixed-mode sweep builds each context once
+    # (signature and aliasing even share one session context).
+    with CampaignRunner(args.engine, args.jobs) as runner:
+        runner.bind([flow.work_unit() for flow in flows.values()], universe)
+        total_stats = None
+        for mode, flow in flows.items():
+            report = run_campaign(
+                flow,
+                universe,
+                flow_name=f"TWMarch {args.name} [{mode}]",
+                runner=runner,
+            )
+            print(report.render())
+            jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
+            print(
+                f"  engine: {args.engine}{jobs_note} "
+                f"({report.total} faults in {report.seconds:.3f}s)"
+            )
+            if report.context_stats is not None:
+                if total_stats is None:
+                    total_stats = report.context_stats.copy()
+                else:
+                    total_stats.merge(report.context_stats)
+    if len(flows) > 1 and total_stats is not None:
+        print(f"run total contexts: {total_stats.render()}")
     return 0
 
 
@@ -288,12 +332,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coverage.add_argument(
         "--mode",
-        choices=("compare", "signature", "aliasing"),
         default="compare",
-        help="detection oracle: alias-free compare, the two-phase MISR "
-        "signature session (aliasing possible), or the same session "
-        "with per-fault (stream, signature) pair verdicts that count "
-        "aliasing events per class",
+        help="detection oracle(s): alias-free 'compare', the two-phase "
+        "MISR 'signature' session (aliasing possible), or the same "
+        "session with per-fault (stream, signature) pair verdicts that "
+        "count 'aliasing' events per class.  A comma-separated list "
+        "(or 'all') runs a mixed-mode campaign through one persistent "
+        "runner whose context cache is shared across the modes",
     )
     coverage.add_argument("--misr-width", type=int, default=16)
     coverage.add_argument(

@@ -40,12 +40,14 @@ from .base import (
     register_engine,
 )
 from .batch import BatchEngine
+from .context import CampaignContext, ContextCache, ContextStats
 from .parallel import (
     AliasingWork,
     CampaignRunner,
     CompareWork,
     SignatureWork,
     shard_bounds,
+    work_key,
 )
 from .program import (
     MarchProgram,
@@ -71,9 +73,12 @@ from .symbolic import (
 __all__ = [
     "AliasingWork",
     "BatchEngine",
+    "CampaignContext",
     "CampaignRunner",
     "CellSymbolicVerdict",
     "CompareWork",
+    "ContextCache",
+    "ContextStats",
     "DEFAULT_ENGINE",
     "Engine",
     "ExecutionError",
@@ -97,4 +102,5 @@ __all__ = [
     "get_engine",
     "register_engine",
     "shard_bounds",
+    "work_key",
 ]

@@ -94,6 +94,38 @@ class Engine:
         ``run_march``; see :func:`repro.bist.executor.run_march`)."""
         raise NotImplementedError
 
+    def build_compare_context(
+        self,
+        test: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        derive_writes: bool = True,
+    ) -> object:
+        """Reusable compare-oracle campaign state for this engine, or
+        ``None`` when the engine has nothing to amortize beyond the
+        (already cached) compiled program.  What comes back is opaque:
+        hand it to :meth:`detect_batch` via ``context=`` unchanged.
+        The base/reference per-fault loop precomputes nothing."""
+        return None
+
+    def build_session_context(
+        self,
+        test: "MarchTest | MarchProgram",
+        prediction: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> object:
+        """Reusable two-phase-session state (shared by the signature
+        *and* aliasing oracles — both read the same session), or
+        ``None`` when the engine has nothing to amortize."""
+        return None
+
     def detect_batch(
         self,
         test: "MarchTest | MarchProgram",
@@ -103,12 +135,15 @@ class Engine:
         faults: "Sequence[Fault]",
         *,
         derive_writes: bool = True,
+        context: object = None,
     ) -> list[bool]:
         """Compare-oracle detection verdict for every fault in *faults*.
 
         Each fault is simulated alone on a fresh memory loaded with
         *words* (the campaign's shared initial content); the verdict is
         ``RunResult.detected`` of a ``stop_on_mismatch`` run.
+        ``context`` accepts a prebuilt :meth:`build_compare_context`
+        payload; the per-fault base loop has none and ignores it.
         """
         from ..memory.injection import FaultyMemory
 
@@ -138,6 +173,7 @@ class Engine:
         *,
         misr_width: int = 16,
         misr_seed: int = 0,
+        context: object = None,
     ) -> list[bool]:
         """Signature-oracle detection verdict for every fault in *faults*.
 
@@ -149,7 +185,13 @@ class Engine:
         this engine, and the verdict is whether the two signatures
         differ.  Aliasing is possible, exactly as in hardware.  The base
         implementation loops :meth:`run`; vectorized backends override.
+        ``context`` accepts a prebuilt :meth:`build_session_context`
+        payload.
         """
+        # context= travels only when a payload exists, so a subclass
+        # overriding detect_aliasing_batch with the pre-context
+        # signature keeps working (its build hooks return None).
+        kwargs = {} if context is None else {"context": context}
         return [
             signature
             for _stream, signature in self.detect_aliasing_batch(
@@ -161,6 +203,7 @@ class Engine:
                 faults,
                 misr_width=misr_width,
                 misr_seed=misr_seed,
+                **kwargs,
             )
         ]
 
@@ -175,6 +218,7 @@ class Engine:
         *,
         misr_width: int = 16,
         misr_seed: int = 0,
+        context: object = None,
     ) -> list[tuple[bool, bool]]:
         """``(stream_detected, signature_detected)`` pair verdict for
         every fault in *faults*.

@@ -104,6 +104,78 @@ class BatchEngine(Engine):
             derive_writes=derive_writes,
         )
 
+    # -- campaign contexts (the amortizable per-campaign state) --------
+    def build_compare_context(
+        self,
+        test,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        derive_writes: bool = True,
+    ) -> "_CampaignContext | None":
+        """The compare oracle's whole reusable state — compiled
+        program, masked words, packed planes and fault-free baseline
+        (built lazily inside).  ``None`` for underivable programs,
+        whose campaigns must take the per-fault interpreter path."""
+        program = self._program(test, width)
+        if derive_writes and not program.derivable:
+            return None
+        return _CampaignContext(program, n_words, words, derive_writes)
+
+    def build_session_context(
+        self,
+        test,
+        prediction,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+    ) -> "_SignatureContext | None":
+        """The two-phase session's reusable state — fault-free read
+        streams of both phases, MISR weight/fold tables, fault-free
+        signature gap and mismatch set.  One context serves both the
+        signature and the pair-verdict aliasing oracle.  ``None`` for
+        underivable programs (per-fault interpreter path)."""
+        test_program = self._program(test, width)
+        prediction_program = self._program(prediction, width)
+        if not (test_program.derivable and prediction_program.derivable):
+            return None
+        return _SignatureContext(
+            prediction_program, test_program, n_words, words,
+            misr_width, misr_seed,
+        )
+
+    @staticmethod
+    def _check_context(context, kind, program, n_words, words) -> None:
+        """Guard against a context built for a different campaign being
+        replayed here — the cache keys prevent it, but a silent
+        mismatch would mean silently wrong verdicts.  *program* is the
+        context's primary program (the compare program, or the test
+        phase of a session)."""
+        if not isinstance(context, kind):
+            raise ExecutionError(
+                f"prebuilt context has type {type(context).__name__}, "
+                f"expected {kind.__name__}"
+            )
+        own_program = (
+            context.program if kind is _CampaignContext else context.test
+        )
+        masked = [w & program.word_mask for w in words]
+        if (
+            context.n_words != n_words
+            or context.width != program.width
+            or own_program != program
+            or context.words != masked
+        ):
+            raise ExecutionError(
+                "prebuilt campaign context does not match this campaign's "
+                "(program, geometry, words); rebuild it through the "
+                "context cache"
+            )
+
     def detect_batch(
         self,
         test,
@@ -113,6 +185,7 @@ class BatchEngine(Engine):
         faults: Sequence[Fault],
         *,
         derive_writes: bool = True,
+        context: "_CampaignContext | None" = None,
     ) -> list[bool]:
         program = self._program(test, width)
         if derive_writes and not program.derivable:
@@ -124,7 +197,18 @@ class BatchEngine(Engine):
                 program, n_words, width, words, faults,
                 derive_writes=derive_writes,
             )
-        ctx = _CampaignContext(program, n_words, words, derive_writes)
+        if context is None:
+            ctx = _CampaignContext(program, n_words, words, derive_writes)
+        else:
+            self._check_context(
+                context, _CampaignContext, program, n_words, words
+            )
+            if context.derive != derive_writes:
+                raise ExecutionError(
+                    "prebuilt campaign context was built for the other "
+                    "derived-write datapath"
+                )
+            ctx = context
         return [ctx.detect(fault) for fault in faults]
 
     def detect_signature_batch(
@@ -138,20 +222,20 @@ class BatchEngine(Engine):
         *,
         misr_width: int = 16,
         misr_seed: int = 0,
+        context: "_SignatureContext | None" = None,
     ) -> list[bool]:
-        test_program = self._program(test, width)
-        prediction_program = self._program(prediction, width)
-        if not (test_program.derivable and prediction_program.derivable):
+        ctx = self._session_context(
+            test, prediction, n_words, width, words, misr_width, misr_seed,
+            context,
+        )
+        if ctx is None:
             # The per-fault reference path raises ExecutionError at the
             # first underivable write; only it reproduces that exactly.
             return super().detect_signature_batch(
-                test_program, prediction_program, n_words, width, words,
-                faults, misr_width=misr_width, misr_seed=misr_seed,
+                self._program(test, width), self._program(prediction, width),
+                n_words, width, words, faults,
+                misr_width=misr_width, misr_seed=misr_seed,
             )
-        ctx = _SignatureContext(
-            prediction_program, test_program, n_words, words,
-            misr_width, misr_seed,
-        )
         return [ctx.detect(fault) for fault in faults]
 
     def detect_aliasing_batch(
@@ -165,21 +249,51 @@ class BatchEngine(Engine):
         *,
         misr_width: int = 16,
         misr_seed: int = 0,
+        context: "_SignatureContext | None" = None,
     ) -> list[tuple[bool, bool]]:
-        test_program = self._program(test, width)
-        prediction_program = self._program(prediction, width)
-        if not (test_program.derivable and prediction_program.derivable):
+        ctx = self._session_context(
+            test, prediction, n_words, width, words, misr_width, misr_seed,
+            context,
+        )
+        if ctx is None:
             # The per-fault reference path raises ExecutionError at the
             # first underivable write; only it reproduces that exactly.
             return super().detect_aliasing_batch(
-                test_program, prediction_program, n_words, width, words,
-                faults, misr_width=misr_width, misr_seed=misr_seed,
+                self._program(test, width), self._program(prediction, width),
+                n_words, width, words, faults,
+                misr_width=misr_width, misr_seed=misr_seed,
             )
-        ctx = _SignatureContext(
+        return [ctx.detect_pair(fault) for fault in faults]
+
+    def _session_context(
+        self, test, prediction, n_words, width, words, misr_width, misr_seed,
+        context,
+    ) -> "_SignatureContext | None":
+        """Resolve the session context for one signature/aliasing call:
+        the validated prebuilt one, a fresh build, or ``None`` when the
+        programs are underivable (per-fault interpreter path)."""
+        test_program = self._program(test, width)
+        prediction_program = self._program(prediction, width)
+        if not (test_program.derivable and prediction_program.derivable):
+            return None
+        if context is not None:
+            self._check_context(
+                context, _SignatureContext, test_program, n_words, words
+            )
+            if (
+                context.prediction != prediction_program
+                or context.misr_width != misr_width
+                or context.misr_seed != misr_seed
+            ):
+                raise ExecutionError(
+                    "prebuilt session context was built for a different "
+                    "prediction program or MISR configuration"
+                )
+            return context
+        return _SignatureContext(
             prediction_program, test_program, n_words, words,
             misr_width, misr_seed,
         )
-        return [ctx.detect_pair(fault) for fault in faults]
 
 
 class _CampaignContext:

@@ -1,4 +1,4 @@
-"""Sharded parallel campaign execution across worker processes.
+"""Sharded parallel campaign execution across persistent worker processes.
 
 A compare- or signature-oracle campaign slice is embarrassingly
 parallel: every fault is simulated alone against the same immutable
@@ -8,9 +8,32 @@ shared state.  This module provides
 
 * :class:`CompareWork` / :class:`SignatureWork` / :class:`AliasingWork`
   — picklable work-unit descriptions (the flow structure minus the
-  faults), executable against any registered engine;
-* :class:`CampaignRunner` — a process-pool wrapper that shards a fault
-  class, dispatches chunks, and merges verdicts deterministically.
+  faults), executable against any registered engine and keyed into the
+  campaign-context cache (:mod:`repro.engine.context`);
+* :class:`CampaignRunner` — a process-pool wrapper that shards fault
+  classes, dispatches chunks, and merges verdicts deterministically.
+
+Amortized campaign contexts
+---------------------------
+
+The expensive part of a chunk is not the fault verdicts — it is the
+*context*: packed bit-planes, MISR weight tables, fault-free
+baselines.  That context depends only on ``(test, geometry, words,
+mode, engine)``, so every worker process keeps a
+:class:`~repro.engine.context.ContextCache` for its lifetime:
+
+* the **first** chunk a worker sees for a given key builds the context
+  (at most one build per distinct context per worker);
+* every later chunk — across classes, campaigns and oracles — replays
+  the cached one;
+* signature- and aliasing-mode work units share one ``"session"``
+  context key on purpose, so a mixed-mode run builds the two-phase
+  session state once per worker, not once per mode.
+
+Chunk results carry the worker cache's counter deltas back to the
+parent, where :meth:`CampaignRunner.take_stats` aggregates them with
+the in-process cache (the jobs=1 / small-class path) so
+``CampaignReport.context_stats`` can prove the amortization.
 
 Determinism contract
 --------------------
@@ -26,7 +49,10 @@ stable report ordering, by construction:
   timing; because the enumerators emit faults in address order,
   contiguous chunks are address-range shards;
 * verdicts are merged back in submission order (chunk *i*'s verdicts
-  land before chunk *i+1*'s), recovering the exact sequential order.
+  land before chunk *i+1*'s), recovering the exact sequential order;
+* cached contexts are pure precomputations of the work unit — a warm
+  replay and a cold build produce the same verdicts bit for bit (only
+  the cache *counters* differ between runs).
 
 Workers are forked when the platform allows it, so custom engines
 registered in the parent are visible in the children; on spawn-only
@@ -42,6 +68,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from .base import Engine, engine_names, get_engine
+from .context import ContextCache, ContextStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.march import MarchTest
@@ -50,8 +77,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class CompareWork:
-    """One compare-oracle campaign context: everything an engine's
-    :meth:`~repro.engine.Engine.detect_batch` needs except the faults."""
+    """One compare-oracle campaign context description: everything an
+    engine's :meth:`~repro.engine.Engine.detect_batch` needs except the
+    faults."""
 
     test: "MarchTest"
     n_words: int
@@ -59,7 +87,35 @@ class CompareWork:
     words: tuple[int, ...]
     derive_writes: bool = True
 
-    def run(self, engine: Engine, faults: "Sequence[Fault]") -> list[bool]:
+    def context_key(self) -> tuple:
+        """Cache key of the amortizable campaign state (the engine is
+        fixed per cache, completing the ``(test, geometry, words,
+        mode, engine)`` key of the context runtime)."""
+        return (
+            "compare",
+            self.test,
+            self.n_words,
+            self.width,
+            self.words,
+            self.derive_writes,
+        )
+
+    def build_context(self, engine: Engine) -> object:
+        return engine.build_compare_context(
+            self.test,
+            self.n_words,
+            self.width,
+            list(self.words),
+            derive_writes=self.derive_writes,
+        )
+
+    def run(
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
+    ) -> list[bool]:
+        # context= travels only when a payload exists: an engine whose
+        # build hook returned None may predate the context parameter
+        # entirely (custom engines overriding the old signatures).
+        kwargs = {} if context is None else {"context": context}
         return engine.detect_batch(
             self.test,
             self.n_words,
@@ -67,12 +123,14 @@ class CompareWork:
             list(self.words),
             faults,
             derive_writes=self.derive_writes,
+            **kwargs,
         )
 
 
 @dataclass(frozen=True)
 class SignatureWork:
-    """One signature-oracle campaign context (two-phase MISR session)."""
+    """One signature-oracle campaign context description (two-phase
+    MISR session)."""
 
     test: "MarchTest"
     prediction: "MarchTest"
@@ -82,7 +140,37 @@ class SignatureWork:
     misr_width: int = 16
     misr_seed: int = 0
 
-    def run(self, engine: Engine, faults: "Sequence[Fault]") -> list[bool]:
+    def context_key(self) -> tuple:
+        """Deliberately shared with :class:`AliasingWork`: both oracles
+        read the same two-phase session state, so signature- and
+        aliasing-mode campaigns of the same session reuse one cached
+        context."""
+        return (
+            "session",
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            self.words,
+            self.misr_width,
+            self.misr_seed,
+        )
+
+    def build_context(self, engine: Engine) -> object:
+        return engine.build_session_context(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            list(self.words),
+            misr_width=self.misr_width,
+            misr_seed=self.misr_seed,
+        )
+
+    def run(
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
+    ) -> list[bool]:
+        kwargs = {} if context is None else {"context": context}
         return engine.detect_signature_batch(
             self.test,
             self.prediction,
@@ -92,20 +180,23 @@ class SignatureWork:
             faults,
             misr_width=self.misr_width,
             misr_seed=self.misr_seed,
+            **kwargs,
         )
 
 
 @dataclass(frozen=True)
 class AliasingWork(SignatureWork):
-    """One aliasing-oracle campaign context: the exact session
-    description of :class:`SignatureWork`, but reporting per-fault
-    ``(stream detected, signature detected)`` pair verdicts so
-    aliasing events can be counted.  Pair verdicts are plain tuples of
-    bools, so chunks shard and merge exactly like boolean verdicts."""
+    """One aliasing-oracle campaign context description: the exact
+    session description of :class:`SignatureWork` (including its cache
+    key), but reporting per-fault ``(stream detected, signature
+    detected)`` pair verdicts so aliasing events can be counted.  Pair
+    verdicts are plain tuples of bools, so chunks shard and merge
+    exactly like boolean verdicts."""
 
     def run(
-        self, engine: Engine, faults: "Sequence[Fault]"
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
     ) -> list[tuple[bool, bool]]:
+        kwargs = {} if context is None else {"context": context}
         return engine.detect_aliasing_batch(
             self.test,
             self.prediction,
@@ -115,45 +206,87 @@ class AliasingWork(SignatureWork):
             faults,
             misr_width=self.misr_width,
             misr_seed=self.misr_seed,
+            **kwargs,
         )
 
 
+def work_key(work) -> tuple:
+    """Dispatch identity of a work unit: its class plus its context
+    key.  Two works may *share* a context (signature + aliasing share
+    the session state) yet run different oracles, so bound-work lookup
+    must key on both."""
+    return (type(work).__name__, work.context_key())
+
+
+# ---------------------------------------------------------------------------
+# Worker-side persistent state
+# ---------------------------------------------------------------------------
+
+# Per-process campaign-context caches, one per engine name, alive for
+# the worker process's lifetime.  A worker builds each distinct context
+# at most once and replays it for every subsequent chunk that shares
+# the key — across fault classes, campaigns and oracle modes.  The
+# parent process never touches these (its inline path uses the
+# runner's own cache), so forked children start empty.
+_WORKER_CACHES: dict[str, ContextCache] = {}
+
+
+def _worker_cache(engine_name: str) -> ContextCache:
+    cache = _WORKER_CACHES.get(engine_name)
+    if cache is None:
+        cache = ContextCache(get_engine(engine_name))
+        _WORKER_CACHES[engine_name] = cache
+    return cache
+
+
 def _run_chunk(engine_name, work, faults):
-    """Worker entry point: evaluate one fault chunk (module-level so it
-    pickles under both fork and spawn start methods)."""
-    return work.run(get_engine(engine_name), faults)
+    """Worker entry point for the unbound path: the chunk carries its
+    pickled work unit and fault slice; the context is served from the
+    worker's persistent cache.  Returns ``(verdicts, stats_delta)``
+    (module-level so it pickles under both fork and spawn)."""
+    cache = _worker_cache(engine_name)
+    ctx = cache.get(work)
+    verdicts = work.run(cache.engine, faults, context=ctx.payload)
+    return verdicts, cache.take_stats().as_dict()
 
 
-# Campaign state inherited by forked workers.  Binding the work unit
+# Campaign state inherited by forked workers.  Binding the work units
 # and every fault class here *before* the pool forks lets chunks travel
-# as bare (class_name, start, stop) index triples — the fault objects
-# reach the workers through copy-on-write memory instead of being
-# pickled through a pipe, which would otherwise rival the per-fault
-# simulation cost itself.  One campaign at a time per process: the
-# generation token makes a stale binding (a second runner re-binding
-# before this runner's pool forks) a loud error instead of silently
-# wrong verdicts.
-_BOUND: "tuple[int, object, dict[str, list]] | None" = None
+# as bare (work_key, class_name, start, stop) messages — the fault
+# objects and work units reach the workers through copy-on-write memory
+# instead of being pickled through a pipe, which would otherwise rival
+# the per-fault simulation cost itself.  One binding at a time per
+# process: the generation token makes a stale binding (a second runner
+# re-binding before this runner's pool forks) a loud error instead of
+# silently wrong verdicts.
+_BOUND: "tuple[int, dict[tuple, object], dict[str, list]] | None" = None
 _BIND_GENERATION = 0
 
 
-def _bind(work, classes) -> int:
+def _bind(works, classes) -> int:
     global _BOUND, _BIND_GENERATION
     _BIND_GENERATION += 1
-    _BOUND = None if work is None else (_BIND_GENERATION, work, classes)
+    _BOUND = None if works is None else (_BIND_GENERATION, works, classes)
     return _BIND_GENERATION
 
 
-def _run_bound_chunk(engine_name, token, class_name, start, stop):
-    """Worker entry point for the fork path: slice the inherited class."""
+def _run_bound_chunk(engine_name, token, key, class_name, start, stop):
+    """Worker entry point for the fork path: resolve the work unit and
+    fault slice from the inherited binding, then evaluate the chunk
+    against the worker's persistent context cache."""
     if _BOUND is None or _BOUND[0] != token:
         raise RuntimeError(
             "campaign binding changed after the worker pool forked; "
             "bind() must precede detect_class() and bound campaigns "
             "must not interleave within one process"
         )
-    _token, work, classes = _BOUND
-    return work.run(get_engine(engine_name), classes[class_name][start:stop])
+    _token, works, classes = _BOUND
+    work = works[key]
+    faults = classes[class_name][start:stop]
+    cache = _worker_cache(engine_name)
+    ctx = cache.get(work)
+    verdicts = work.run(cache.engine, faults, context=ctx.payload)
+    return verdicts, cache.take_stats().as_dict()
 
 
 def shard_bounds(n_faults: int, n_chunks: int) -> list[tuple[int, int]]:
@@ -182,14 +315,22 @@ def _pool_context():
 
 
 class CampaignRunner:
-    """Shards per-class fault lists across a process pool.
+    """Shards per-class fault lists across persistent worker processes.
 
     The pool is created lazily on the first class large enough to
-    shard and reused for every subsequent class of the campaign, so
-    worker startup is amortized across the whole universe.  Classes
-    smaller than ``min_chunk * 2`` run inline — the per-chunk context
-    rebuild (bit-plane passes, fault-free streams) would otherwise cost
-    more than the parallelism returns.
+    shard and reused for every subsequent class — and, when the
+    binding allows it, every subsequent *campaign* — so worker startup
+    **and** per-context construction are amortized across everything
+    the runner executes.  Classes smaller than ``min_chunk * 2`` run
+    inline through the runner's own context cache.
+
+    A runner is reusable: pass it to several ``run_campaign`` calls
+    (e.g. one per oracle mode) via ``run_campaign(..., runner=...)``.
+    Bind every mode's work unit up front —
+    ``runner.bind([w1, w2, w3], universe)`` — and the pool, its
+    workers and their warm context caches survive across the whole
+    mixed-mode run; re-binding with a different universe or an unknown
+    work restarts the pool (correct, merely colder).
     """
 
     def __init__(
@@ -199,6 +340,7 @@ class CampaignRunner:
         *,
         chunks_per_job: int = 4,
         min_chunk: int = 64,
+        max_contexts: int = 16,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -210,7 +352,11 @@ class CampaignRunner:
         self.min_chunk = min_chunk
         self._context = _pool_context()
         self._pool: ProcessPoolExecutor | None = None
+        self._cache = ContextCache(self.engine, max_contexts)
+        self._worker_stats = ContextStats()
+        self._bound_works: "dict[tuple, object] | None" = None
         self._bound_classes: "dict[str, list[Fault]] | None" = None
+        self._bound_refs: "dict[str, Sequence[Fault]] | None" = None
         self._bound_token: int | None = None
 
     # -- lifecycle -----------------------------------------------------
@@ -221,33 +367,100 @@ class CampaignRunner:
         self.close()
 
     def close(self) -> None:
+        """Shut down the pool, drop the binding and the runner's own
+        cached contexts (counters survive for a final take_stats)."""
+        self._drop_binding()
+        self._cache.clear()
+
+    def _drop_binding(self) -> None:
+        """Shut down the pool and forget the bound campaign, keeping
+        the runner's own context cache — contexts are keyed by work,
+        not by universe, so a re-bind does not invalidate them."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
         if self._bound_classes is not None:
             self._bound_classes = None
+            self._bound_works = None
+            self._bound_refs = None
             # Only clear the global if this runner still owns it — a
             # later runner's binding must survive this one's close().
             if _BOUND is not None and _BOUND[0] == self._bound_token:
                 _bind(None, None)
             self._bound_token = None
 
-    def bind(self, work, universe: "dict[str, Sequence[Fault]]") -> None:
-        """Pre-bind a whole campaign so forked workers inherit the
-        fault classes copy-on-write and chunks travel as index triples.
+    # -- statistics ----------------------------------------------------
+    def take_stats(self) -> ContextStats:
+        """Context-cache counter increments since the previous call:
+        the runner's inline cache plus every worker delta returned with
+        the chunks in between.  ``run_campaign`` calls this once per
+        campaign, so shared runners report per-campaign stats."""
+        stats = self._worker_stats
+        self._worker_stats = ContextStats()
+        return stats.merge(self._cache.take_stats())
 
-        Must be called before the first :meth:`detect_class` (the pool
-        forks lazily and snapshots the bound state).  Without a bind —
-        or on spawn-only platforms — chunks fall back to carrying their
-        pickled fault lists, which is merely slower, not wrong.
+    # -- binding -------------------------------------------------------
+    def bind(self, work, universe: "dict[str, Sequence[Fault]]") -> None:
+        """Pre-bind a campaign — or, given a sequence of work units, a
+        whole mixed-mode run — so forked workers inherit the works and
+        fault classes copy-on-write and chunks travel as bare
+        ``(work_key, class, start, stop)`` messages.
+
+        Binding the same works and universe again is a no-op, keeping
+        the live pool, the worker caches and the runner's own context
+        cache warm; binding anything new restarts the pool (the
+        context caches survive — contexts do not depend on the
+        universe).  Without a fork-capable platform (or with
+        ``jobs=1``) the binding is recorded for this idempotence check
+        only: chunks then carry their pickled work unit and fault
+        list, which is merely slower, not wrong (contexts are still
+        cached per worker).
         """
-        self.close()
-        if self._context.get_start_method() != "fork":
-            return  # spawned workers would not see the parent's global
+        if self.jobs == 1:
+            # Inline execution has no pool to keep warm and never
+            # consults the binding — its context cache survives any
+            # re-bind on its own, so recording anything would only
+            # cost the universe copy and per-campaign comparison.
+            return
+        works = list(work) if isinstance(work, (list, tuple)) else [work]
+        new_works = {work_key(w): w for w in works}
+        if self._bound_works is not None:
+            if (
+                all(k in self._bound_works for k in new_works)
+                and self._universe_matches(universe)
+            ):
+                return  # already bound — keep pool and warm caches
+        self._drop_binding()
+        self._bound_works = new_works
         self._bound_classes = {
             name: list(faults) for name, faults in universe.items()
         }
-        self._bound_token = _bind(work, self._bound_classes)
+        # The caller's original per-class sequences, for the identity
+        # short-circuit of the common same-universe re-bind.
+        self._bound_refs = dict(universe)
+        if self._context.get_start_method() == "fork":
+            # Publish for the zero-copy fork path; on spawn-only
+            # platforms the binding only serves the re-bind idempotence
+            # check above (spawned workers cannot see the global).
+            self._bound_token = _bind(self._bound_works, self._bound_classes)
+
+    def _universe_matches(self, universe) -> bool:
+        bound = self._bound_classes
+        refs = self._bound_refs or {}
+        if bound is None or set(bound) != set(universe):
+            return False
+        # Identity of the caller's sequences (the common case: one
+        # universe object reused across modes) makes the re-bind check
+        # O(classes); only genuinely new sequences pay the deep
+        # element-wise comparison.
+        return all(
+            refs.get(name) is universe[name]
+            or (
+                len(bound[name]) == len(universe[name])
+                and bound[name] == list(universe[name])
+            )
+            for name in bound
+        )
 
     # -- execution -----------------------------------------------------
     def detect_class(
@@ -260,26 +473,32 @@ class CampaignRunner:
         """Verdicts for one fault class, bit-identical to
         ``work.run(engine, faults)`` executed sequentially.
 
-        When *class_name* names a class of a prior :meth:`bind`, the
-        bound copy is what the workers evaluate (zero-copy fork path).
+        When *class_name* names a class of a prior :meth:`bind` (and
+        the work unit was bound), the bound copies are what the workers
+        evaluate — the zero-copy fork path.
         """
+        key = work_key(work)
         bound = (
-            self._bound_classes is not None
+            self._bound_token is not None
+            and self._bound_classes is not None
             and class_name is not None
             and class_name in self._bound_classes
+            and key in (self._bound_works or ())
         )
         faults = (
             self._bound_classes[class_name] if bound else list(faults)
         )
         if self.jobs == 1 or len(faults) < 2 * self.min_chunk:
-            return work.run(self.engine, faults)
+            ctx = self._cache.get(work)
+            return work.run(self.engine, faults, context=ctx.payload)
         n_chunks = min(
             self.jobs * self.chunks_per_job,
             max(1, len(faults) // self.min_chunk),
         )
         bounds = shard_bounds(len(faults), n_chunks)
         if len(bounds) <= 1:
-            return work.run(self.engine, faults)
+            ctx = self._cache.get(work)
+            return work.run(self.engine, faults, context=ctx.payload)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=self._context
@@ -288,7 +507,7 @@ class CampaignRunner:
             futures = [
                 self._pool.submit(
                     _run_bound_chunk, self.engine.name, self._bound_token,
-                    class_name, start, stop,
+                    key, class_name, start, stop,
                 )
                 for start, stop in bounds
             ]
@@ -301,7 +520,9 @@ class CampaignRunner:
             ]
         verdicts: list[bool] = []
         for future in futures:  # submission order == fault order
-            verdicts.extend(future.result())
+            chunk_verdicts, stats = future.result()
+            verdicts.extend(chunk_verdicts)
+            self._worker_stats.merge(stats)
         if len(verdicts) != len(faults):
             raise RuntimeError(
                 f"sharded class returned {len(verdicts)} verdicts for "

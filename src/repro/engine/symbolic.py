@@ -109,6 +109,7 @@ class SymbolicEngine(Engine):
         faults: Sequence[Fault],
         *,
         derive_writes: bool = True,
+        context: object = None,
     ) -> list:
         """Compare-oracle verdicts through one symbolic evaluation.
 
@@ -118,6 +119,11 @@ class SymbolicEngine(Engine):
         /"CampaignRunner`` wherever ``reference``/``batch`` do.  With
         ``width=None`` (or ``"symbolic"``) the *words* are ignored and
         the raw :class:`SymbolicVerdict` objects are returned instead.
+        ``context`` is accepted for interface compatibility and
+        ignored: the engine amortizes through its own internal
+        shape-cached ``_SymbolicCampaign`` contexts, which are keyed by
+        ``(program, datapath)`` and already shared across widths,
+        words and campaigns.
         """
         program = self._symbolic(test)
         if width is None or width == "symbolic":
@@ -275,18 +281,36 @@ class SymbolicVerdict:
     :meth:`concretize` projects the verdict onto a concrete memory.
     """
 
-    __slots__ = ("ctx", "fault", "min_width")
+    __slots__ = ("ctx", "fault")
 
     def __init__(self, ctx: "_SymbolicCampaign", fault: Fault) -> None:
         self.ctx = ctx
         self.fault = fault
-        self.min_width = 1 + max((c.bit for c in fault.cells), default=0)
+
+    @property
+    def min_width(self) -> int:
+        """Smallest word width the fault fits in (computed on demand —
+        campaign-scale verdict construction stays allocation-only)."""
+        return 1 + max((c.bit for c in self.fault.cells), default=0)
 
     @property
     def width_independent(self) -> bool:
         """True when the support verdict cannot change with the width
         (concretization still adds the fault-free baseline of
         ill-formed tests, which scans every position)."""
+        raise NotImplementedError
+
+    @property
+    def constant(self) -> "bool | None":
+        """``True`` when the verdict is *detected* for every width and
+        every initial content — the common case for a well-formed
+        transparent test, where most classes detect all assignments.
+        ``None`` means the verdict genuinely depends on ``(width,
+        words)`` and must be :meth:`concretize`-d.  (``False`` is never
+        returned: an all-miss support table can still be overridden by
+        the fault-free baseline of an ill-formed test, which is
+        width-and content-dependent.)  Width sweeps use this to skip
+        per-width concretization for the constant majority."""
         raise NotImplementedError
 
     def concretize(self, width: int, words: Sequence[int]) -> bool:
@@ -320,6 +344,34 @@ class SymbolicVerdict:
         return f"<{type(self).__name__} {self.fault.describe()}>"
 
 
+class AssignmentTable:
+    """Assignment → verdict mapping of one fault shape.
+
+    The constant cases are precomputed: for a well-formed transparent
+    test most classes detect *every* initial assignment (``always``),
+    so campaign-scale concretization skips the per-fault assignment
+    extraction entirely.
+    """
+
+    __slots__ = ("data", "always", "never")
+
+    def __init__(self, data: dict) -> None:
+        self.data = data
+        self.always = all(data.values())
+        self.never = not any(data.values())
+
+    def __getitem__(self, assignment):
+        return self.data[assignment]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AssignmentTable):
+            return self.data == other.data
+        return self.data == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AssignmentTable({self.data!r})"
+
+
 class CellSymbolicVerdict(SymbolicVerdict):
     """Verdict of a cell-confined fault (SAF/TF/RDF/DRDF/CF*): one
     assignment table over the initial bits of the fault's cells."""
@@ -335,11 +387,29 @@ class CellSymbolicVerdict(SymbolicVerdict):
     def width_independent(self) -> bool:
         return True
 
+    @property
+    def constant(self) -> "bool | None":
+        return True if self.table.always else None
+
     def concretize(self, width: int, words: Sequence[int]) -> bool:
         self.fault.validate(len(words), width)
-        assignment = tuple((words[cell.addr] >> cell.bit) & 1 for cell in self.cells)
-        if self.table[assignment]:
+        table = self.table
+        if table.always:
             return True
+        if not table.never:
+            cells = self.cells
+            if len(cells) == 2:  # the CF common case, sans genexpr
+                a, b = cells
+                assignment = (
+                    (words[a.addr] >> a.bit) & 1,
+                    (words[b.addr] >> b.bit) & 1,
+                )
+            else:
+                assignment = tuple(
+                    (words[cell.addr] >> cell.bit) & 1 for cell in cells
+                )
+            if table.data[assignment]:
+                return True
         return self._baseline_outside(width, words, excluded_cells=self.cells)
 
 
@@ -348,20 +418,29 @@ class WordSymbolicVerdict(SymbolicVerdict):
     (lazily, shape-cached), concretization ORs the positions of the
     target width."""
 
-    __slots__ = ("support",)
+    __slots__ = ()
 
-    def __init__(self, ctx, fault) -> None:
-        super().__init__(ctx, fault)
+    @property
+    def support(self) -> frozenset:
+        """Word addresses the decoder fault can influence (on demand —
+        only the rare all-miss baseline path needs it)."""
+        fault = self.fault
         addrs = {fault.addr}
         if fault.other_addr is not None:
             addrs.add(fault.other_addr)
-        self.support = frozenset(addrs)
+        return frozenset(addrs)
 
     @property
     def width_independent(self) -> bool:
         return False
 
-    def position_table(self, position: int) -> dict:
+    @property
+    def constant(self) -> "bool | None":
+        # Every width >= 1 evaluates position 0, so an all-assignment
+        # detection there decides the verdict for the whole sweep.
+        return True if self.position_table(0).always else None
+
+    def position_table(self, position: int) -> "AssignmentTable":
         """Assignment table of the support words' bits at *position*."""
         return self.ctx.af_table(self.fault, position)
 
@@ -370,10 +449,14 @@ class WordSymbolicVerdict(SymbolicVerdict):
         fault.validate(len(words), width)
         for j in range(width):
             table = self.position_table(j)
+            if table.always:
+                return True
+            if table.never:
+                continue
             assignment = ((words[fault.addr] >> j) & 1,)
             if fault.other_addr is not None:
                 assignment += ((words[fault.other_addr] >> j) & 1,)
-            if table[assignment]:
+            if table.data[assignment]:
                 return True
         return self._baseline_outside(width, words, excluded_addrs=self.support)
 
@@ -400,6 +483,36 @@ class _SymbolicCampaign:
         self._fault_free_by_position: dict = {}
         self._baseline_key = None
         self._baseline_value: dict = {}
+        # Position-signature interning: shape keys embed bit signatures,
+        # which are long tuples whose hashing (and the program hashing
+        # behind the bit_signature/bit_plan lru_caches) dominates
+        # campaign dispatch if repeated per fault.  Each position
+        # resolves to a small interned id exactly once per context.
+        self._sig_ids: dict[int, int] = {}
+        self._sig_intern: dict[tuple, int] = {}
+        self._plans: dict[int, tuple] = {}
+        self._clean: dict[int, bool] = {}
+
+    def _sig_id(self, position: int) -> int:
+        """Small interned id of ``program.bit_signature(position)`` —
+        equal ids iff equal signatures, cheap to hash in shape keys."""
+        sid = self._sig_ids.get(position)
+        if sid is None:
+            signature = self.program.bit_signature(position)
+            sid = self._sig_intern.setdefault(
+                signature, len(self._sig_intern)
+            )
+            self._sig_ids[position] = sid
+        return sid
+
+    def _bit_plan(self, position: int) -> tuple:
+        """Per-context memo of ``program.bit_plan(position)`` (the
+        lru_cache behind it re-hashes the whole program per call)."""
+        plan = self._plans.get(position)
+        if plan is None:
+            plan = self.program.bit_plan(position)
+            self._plans[position] = plan
+        return plan
 
     # -- verdict construction ------------------------------------------
     def verdict(self, fault: Fault) -> SymbolicVerdict:
@@ -416,17 +529,18 @@ class _SymbolicCampaign:
 
     def _shape_key(self, fault: Fault):
         """Everything besides the initial support bits that the per-bit
-        replay can depend on; ``None`` for unknown fault kinds."""
-        program = self.program
+        replay can depend on; ``None`` for unknown fault kinds.  Bit
+        signatures appear as interned ids (:meth:`_sig_id`), so keys
+        stay cheap to hash at campaign scale."""
         if isinstance(fault, StuckAtFault):
-            return ("SAF", fault.value, program.bit_signature(fault.cell.bit))
+            return ("SAF", fault.value, self._sig_id(fault.cell.bit))
         if isinstance(fault, TransitionFault):
-            return ("TF", fault.rising, program.bit_signature(fault.cell.bit))
+            return ("TF", fault.rising, self._sig_id(fault.cell.bit))
         if isinstance(fault, ReadDisturbFault):
             return (
                 "RDF",
                 fault.deceptive,
-                program.bit_signature(fault.cell.bit),
+                self._sig_id(fault.cell.bit),
             )
         if isinstance(fault, CouplingFault):
             aggr, vict = fault.aggressor, fault.victim
@@ -443,23 +557,22 @@ class _SymbolicCampaign:
                 fault.kind,
                 params,
                 order,
-                program.bit_signature(aggr.bit),
-                program.bit_signature(vict.bit),
+                self._sig_id(aggr.bit),
+                self._sig_id(vict.bit),
             )
         return None
 
-    def _cell_table(self, fault: Fault) -> dict:
+    def _cell_table(self, fault: Fault) -> AssignmentTable:
         cells = fault.cells
         slots = tuple((cell.addr, cell.bit) for cell in cells)
         table = {}
         for assignment in itertools.product((0, 1), repeat=len(slots)):
             table[assignment] = self._replay(fault, slots, assignment)
-        return table
+        return AssignmentTable(table)
 
-    def af_table(self, fault: AddressDecoderFault, position: int) -> dict:
+    def af_table(self, fault: AddressDecoderFault, position: int) -> AssignmentTable:
         """Assignment table of one AF at one bit position (cached by
         routing shape and position signature)."""
-        program = self.program
         float_bit = (fault.float_value >> position) & 1
         order = None if fault.other_addr is None else fault.addr < fault.other_addr
         key = (
@@ -468,7 +581,7 @@ class _SymbolicCampaign:
             fault.wired_or,
             float_bit,
             order,
-            program.bit_signature(position),
+            self._sig_id(position),
         )
         table = self._tables.get(key)
         if table is not None:
@@ -479,6 +592,7 @@ class _SymbolicCampaign:
         table = {}
         for assignment in itertools.product((0, 1), repeat=len(slots)):
             table[assignment] = self._replay(fault, slots, assignment)
+        table = AssignmentTable(table)
         self._tables[key] = table
         return table
 
@@ -542,7 +656,7 @@ class _SymbolicCampaign:
             addr: tuple(i for i, (a, _) in enumerate(slots) if a == addr)
             for addr in ascending
         }
-        plans = [self.program.bit_plan(pos) for _, pos in slots]
+        plans = [self._bit_plan(pos) for _, pos in slots]
 
         detected = False
         last_raw = [0] * n_slots
@@ -630,7 +744,7 @@ class _SymbolicCampaign:
         cached = self._fault_free_by_position.get(position)
         if cached is not None:
             return cached
-        signature = self.program.bit_signature(position)
+        signature = self._sig_id(position)
         table = self._fault_free.get(signature)
         if table is None:
             hit0 = hit1 = False
@@ -646,10 +760,25 @@ class _SymbolicCampaign:
         self._fault_free_by_position[position] = table
         return table
 
+    def _clean_up_to(self, width: int) -> bool:
+        """True when no position below *width* can ever mismatch fault
+        free (every well-formed test) — the baseline is then empty for
+        *any* content, without touching the words at all."""
+        cached = self._clean.get(width)
+        if cached is None:
+            cached = all(
+                self.fault_free_table(j) == (False, False)
+                for j in range(width)
+            )
+            self._clean[width] = cached
+        return cached
+
     def baseline_map(self, width: int, words: Sequence[int]) -> dict[int, int]:
         """Per-address bitmask of positions where the fault-free run
         mismatches for this concrete content (empty for well-formed
         tests; cached for the most recent ``(width, words)``)."""
+        if self._clean_up_to(width):
+            return {}
         key = (width, tuple(words))
         if self._baseline_key == key:
             return self._baseline_value

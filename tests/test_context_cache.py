@@ -1,0 +1,344 @@
+"""Campaign-context runtime: cache correctness, keying, persistence.
+
+The amortization contract of ``repro.engine.context`` /
+``repro.engine.parallel``:
+
+* verdicts are bit-identical whether a campaign context is built cold
+  or replayed warm from the cache (a context is a pure precomputation);
+* cache keys separate every input that can change a verdict — words,
+  width, geometry, mode — and deliberately *share* the two-phase
+  session state between the signature and aliasing oracles;
+* persistent workers build each distinct context at most once per
+  process, across chunks, classes, campaigns and modes, and
+  ``jobs=1`` ≡ ``jobs=N`` stays bit-identical under all of it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import (
+    aliasing_flow,
+    compare_flow,
+    run_campaign,
+    signature_flow,
+)
+from repro.core.twm import twm_transform
+from repro.engine import (
+    CampaignRunner,
+    ContextCache,
+    ContextStats,
+    ExecutionError,
+    get_engine,
+    work_key,
+)
+from repro.library import catalog
+from repro.memory.injection import standard_fault_universe
+
+N_WORDS = 8
+WIDTH = 8
+
+
+@pytest.fixture(scope="module")
+def twm():
+    return twm_transform(catalog.get("March C-"), WIDTH)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return standard_fault_universe(
+        N_WORDS,
+        WIDTH,
+        max_inter_pairs=4,
+        rng=random.Random(0),
+        include_rdf=True,
+        include_af=True,
+    )
+
+
+def _flows(twm, seed=0, misr_width=16):
+    return {
+        "compare": compare_flow(
+            twm.twmarch, N_WORDS, WIDTH, initial=None, seed=seed
+        ),
+        "signature": signature_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=misr_width, initial=None, seed=seed,
+        ),
+        "aliasing": aliasing_flow(
+            twm.twmarch, twm.prediction, N_WORDS, WIDTH,
+            misr_width=misr_width, initial=None, seed=seed,
+        ),
+    }
+
+
+class TestContextCache:
+    def test_cold_vs_warm_identical_verdicts(self, twm, universe):
+        engine = get_engine("batch")
+        cache = ContextCache(engine)
+        for name, flow in _flows(twm).items():
+            work = flow.work_unit()
+            faults = universe["CFst-intra"]
+            cold = work.run(engine, faults)
+            ctx = cache.get(work)
+            warm = work.run(engine, faults, context=ctx.payload)
+            again = work.run(
+                engine, faults, context=cache.get(work).payload
+            )
+            assert cold == warm == again, name
+
+    def test_hit_miss_build_counters(self, twm):
+        cache = ContextCache(get_engine("batch"))
+        work = _flows(twm)["signature"].work_unit()
+        ctx = cache.get(work)
+        assert ctx.payload is not None
+        assert cache.get(work) is ctx
+        stats = cache.stats
+        assert (stats.builds, stats.hits, stats.misses) == (1, 1, 1)
+        assert stats.build_seconds >= 0.0
+        delta = cache.take_stats()
+        assert (delta.builds, delta.hits, delta.misses) == (1, 1, 1)
+        # The cursor advanced: a fresh delta is empty.
+        empty = cache.take_stats()
+        assert (empty.builds, empty.hits, empty.misses) == (0, 0, 0)
+
+    def test_keying_separates_words_width_and_mode(self, twm):
+        compare = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=3)
+        other_words = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=5)
+        wider = twm_transform(catalog.get("March C-"), 16)
+        other_width = compare_flow(wider.twmarch, N_WORDS, 16, initial=3)
+        signature = _flows(twm)["signature"]
+        keys = {
+            compare.work_unit().context_key(),
+            other_words.work_unit().context_key(),
+            other_width.work_unit().context_key(),
+            signature.work_unit().context_key(),
+        }
+        assert len(keys) == 4
+
+    def test_signature_and_aliasing_share_one_session_context(self, twm):
+        flows = _flows(twm)
+        sig = flows["signature"].work_unit()
+        ali = flows["aliasing"].work_unit()
+        # Same context (the session state is oracle-agnostic)...
+        assert sig.context_key() == ali.context_key()
+        # ...but distinct dispatch identities (different verdict types).
+        assert work_key(sig) != work_key(ali)
+        cache = ContextCache(get_engine("batch"))
+        ctx = cache.get(sig)
+        assert cache.get(ali) is ctx
+        stats = cache.stats
+        assert (stats.builds, stats.hits, stats.misses) == (1, 1, 1)
+
+    def test_eviction_rebuilds_correctly(self, twm, universe):
+        engine = get_engine("batch")
+        cache = ContextCache(engine, max_contexts=1)
+        a = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=3).work_unit()
+        b = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=5).work_unit()
+        faults = universe["SAF"]
+        first = a.run(engine, faults, context=cache.get(a).payload)
+        cache.get(b)  # evicts a
+        assert len(cache) == 1
+        rebuilt = a.run(engine, faults, context=cache.get(a).payload)
+        assert first == rebuilt
+        assert cache.stats.misses == 3  # a, b, a again
+
+    def test_reference_engine_has_nothing_to_amortize(self, twm):
+        cache = ContextCache(get_engine("reference"))
+        ctx = cache.get(_flows(twm)["compare"].work_unit())
+        assert ctx.payload is None
+        assert cache.stats.builds == 0
+        assert cache.stats.misses == 1
+
+    def test_mismatched_context_is_rejected(self, twm, universe):
+        engine = get_engine("batch")
+        cache = ContextCache(engine)
+        a = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=3).work_unit()
+        b = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=5).work_unit()
+        wrong = cache.get(a).payload
+        with pytest.raises(ExecutionError, match="context"):
+            b.run(engine, universe["SAF"], context=wrong)
+
+    def test_context_for_other_test_is_rejected(self, twm, universe):
+        engine = get_engine("batch")
+        other = twm_transform(catalog.get("March U"), WIDTH)
+        # Same width, geometry and words — only the march differs.
+        mine = compare_flow(twm.twmarch, N_WORDS, WIDTH, initial=3)
+        theirs = compare_flow(other.twmarch, N_WORDS, WIDTH, initial=3)
+        wrong = ContextCache(engine).get(theirs.work_unit()).payload
+        with pytest.raises(ExecutionError, match="context"):
+            mine.work_unit().run(engine, universe["SAF"], context=wrong)
+
+    def test_session_context_for_other_prediction_is_rejected(self, twm):
+        engine = get_engine("batch")
+        flows = _flows(twm)
+        sig = flows["signature"].work_unit()
+        ctx = ContextCache(engine).get(sig).payload
+        with pytest.raises(ExecutionError, match="prediction|MISR"):
+            engine.detect_signature_batch(
+                sig.test,
+                sig.test,  # a different (self-)prediction program
+                sig.n_words,
+                sig.width,
+                list(sig.words),
+                [],
+                misr_width=sig.misr_width,
+                misr_seed=sig.misr_seed,
+                context=ctx,
+            )
+
+    def test_stats_merge_roundtrip(self):
+        total = ContextStats()
+        total.merge(ContextStats(1, 2, 3, 0.5))
+        total.merge({"builds": 1, "hits": 1, "misses": 1,
+                     "build_seconds": 0.25})
+        assert (total.builds, total.hits, total.misses) == (2, 3, 4)
+        assert total.build_seconds == 0.75
+        assert ContextStats(**total.as_dict()).as_dict() == total.as_dict()
+        assert "2 built" in total.render()
+
+
+class TestPersistentWorkers:
+    def test_mixed_mode_shared_runner_is_bit_identical(self, twm, universe):
+        flows = _flows(twm)
+        baseline = {
+            mode: run_campaign(flow, universe, engine="batch", jobs=1)
+            for mode, flow in flows.items()
+        }
+        with CampaignRunner("batch", 4, min_chunk=8) as runner:
+            runner.bind(
+                [flow.work_unit() for flow in flows.values()], universe
+            )
+            shared = {
+                mode: run_campaign(flow, universe, runner=runner)
+                for mode, flow in flows.items()
+            }
+        for mode in flows:
+            assert (
+                shared[mode].coverage_vector()
+                == baseline[mode].coverage_vector()
+            ), mode
+            assert shared[mode].undetected == baseline[mode].undetected, mode
+            assert (
+                shared[mode].aliasing_vector()
+                == baseline[mode].aliasing_vector()
+            ), mode
+        # The aliasing campaign reused the signature campaign's session
+        # contexts: mostly hits, and at most one cold build per worker
+        # the pool scheduler never handed a signature chunk (the
+        # deterministic zero-build proof is the jobs=1 test below).
+        assert shared["aliasing"].context_stats.builds <= 4
+        assert shared["aliasing"].context_stats.hits > 0
+
+    def test_warm_second_campaign_is_amortized(self, twm, universe):
+        flow = _flows(twm)["compare"]
+        with CampaignRunner("batch", 2, min_chunk=8) as runner:
+            runner.bind(flow.work_unit(), universe)
+            cold = run_campaign(flow, universe, runner=runner)
+            warm = run_campaign(flow, universe, runner=runner)
+        assert cold.coverage_vector() == warm.coverage_vector()
+        assert cold.context_stats.builds >= 1
+        # Per-worker amortization contract: at most one build per
+        # worker process plus the inline cache, per campaign — and
+        # across both campaigns combined, since the warm run may only
+        # build in a worker the cold run's scheduler never used.
+        assert cold.context_stats.builds <= 2 + 1
+        assert (
+            cold.context_stats.builds + warm.context_stats.builds <= 2 + 1
+        )
+        assert warm.context_stats.hits > 0
+
+    def test_jobs1_shared_runner_keeps_cache_across_modes(
+        self, twm, universe
+    ):
+        # The CLI's mixed-mode default (jobs=1): re-binding the same
+        # works and universe must not wipe the inline context cache,
+        # so the aliasing campaign reuses the signature session.
+        flows = _flows(twm)
+        with CampaignRunner("batch", 1) as runner:
+            runner.bind(
+                [flow.work_unit() for flow in flows.values()], universe
+            )
+            run_campaign(flows["signature"], universe, runner=runner)
+            aliasing = run_campaign(flows["aliasing"], universe, runner=runner)
+        assert aliasing.context_stats.builds == 0
+        assert aliasing.context_stats.misses == 0
+        assert aliasing.context_stats.hits == len(universe)
+
+    def test_jobs1_report_carries_context_stats(self, twm, universe):
+        report = run_campaign(
+            _flows(twm)["signature"],
+            universe,
+            engine="batch",
+            jobs=1,
+        )
+        stats = report.context_stats
+        assert stats is not None
+        # One context for the whole campaign, one hit per further class.
+        assert stats.builds == 1
+        assert stats.misses == 1
+        assert stats.hits == len(universe) - 1
+        assert "built" in report.render()
+
+    def test_bare_flow_reports_no_context_stats(self, universe, twm):
+        flow = _flows(twm)["compare"]
+        report = run_campaign(
+            lambda fault: flow(fault), {"SAF": universe["SAF"][:4]}
+        )
+        assert report.context_stats is None
+
+    def test_old_signature_custom_engine_still_runs(self, twm, universe):
+        # A custom engine written before the context parameter existed
+        # (overriding the documented pre-context signatures) must keep
+        # working: context= only travels when a payload exists, and
+        # the base build hooks return None.
+        from repro.engine import Engine
+
+        class Legacy(Engine):
+            name = "legacy-test-engine"
+
+            def detect_batch(
+                self, test, n_words, width, words, faults, *,
+                derive_writes=True,
+            ):
+                return get_engine("reference").detect_batch(
+                    test, n_words, width, words, faults,
+                    derive_writes=derive_writes,
+                )
+
+        flow = _flows(twm)["compare"]
+        small = {"SAF": universe["SAF"]}
+        report = run_campaign(flow, small, engine=Legacy())
+        baseline = run_campaign(flow, small, engine="reference")
+        assert report.coverage_vector() == baseline.coverage_vector()
+        assert report.context_stats.builds == 0  # nothing to amortize
+
+    def test_shared_runner_engine_mismatch_raises(self, twm, universe):
+        flow = _flows(twm)["compare"]
+        with CampaignRunner("batch", 1) as runner:
+            with pytest.raises(ValueError, match="engine"):
+                run_campaign(
+                    flow, universe, engine="reference", runner=runner
+                )
+
+    def test_shared_runner_without_engine_uses_runners(self, twm, universe):
+        flow = _flows(twm)["compare"]
+        with CampaignRunner("batch", 1) as runner:
+            report = run_campaign(flow, universe, runner=runner)
+        assert report.engine == "batch"
+
+    def test_rebinding_different_universe_stays_correct(self, twm, universe):
+        flow = _flows(twm)["compare"]
+        small = {"SAF": universe["SAF"], "TF": universe["TF"]}
+        with CampaignRunner("batch", 2, min_chunk=8) as runner:
+            runner.bind(flow.work_unit(), universe)
+            full = run_campaign(flow, universe, runner=runner)
+            trimmed = run_campaign(flow, small, runner=runner)
+        assert full.coverage_vector() == run_campaign(
+            flow, universe, engine="batch"
+        ).coverage_vector()
+        assert trimmed.coverage_vector() == {
+            name: full.coverage_vector()[name] for name in small
+        }
