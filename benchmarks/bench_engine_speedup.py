@@ -20,6 +20,16 @@ the Section 2 universe plus the RDF/DRDF/AF extension classes):
   session context, so the aliasing campaign reports (near-)zero
   context builds — at most one per worker the pool scheduler never
   handed a signature chunk, and exactly zero in-process.
+* **megaword** — the packed class-kernel headline at ``>= 2^20``
+  words: each single-cell class (SAF/TF/RDF/DRDF, millions of faults)
+  is answered by one :meth:`detect_class` bitset pass over the
+  campaign context's packed planes, raced against the per-fault
+  dispatch rate measured on an evenly-strided fault sample through the
+  *same warm context* (whole-class per-fault dispatch is exactly what
+  the packed pass replaces — at this size it would take tens of
+  minutes).  Sampled verdicts are checked bit-identical between the
+  two paths, and a few low-address detected faults are replayed
+  through the stop-on-mismatch reference interpreter as ground truth.
 
 Every leg carries the campaign-context cache columns
 (``context_builds`` / ``context_cache_hits`` / ``context_cache_misses``
@@ -53,6 +63,7 @@ import time
 from unittest import mock
 
 from repro.analysis.coverage import (
+    _initial_words,
     aliasing_flow,
     compare_flow,
     run_campaign,
@@ -62,7 +73,12 @@ from repro.core.twm import twm_transform
 from repro.engine import CampaignRunner, compile_march
 from repro.engine import batch as batch_module
 from repro.library import catalog
-from repro.memory.injection import standard_fault_universe
+from repro.memory.injection import (
+    ReadDisturbClass,
+    StuckAtClass,
+    TransitionClass,
+    standard_fault_universe,
+)
 
 ROOT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 MIRROR_OUT = pathlib.Path(__file__).parent / "out" / "engine_speedup.json"
@@ -107,8 +123,13 @@ class _FallbackCounter:
             patch.stop()
 
 
-def build_workload(args, n_words: int):
+def build_workload(args, n_words: int, *, streaming: bool = True):
     twm = twm_transform(catalog.get(args.test), args.width)
+    # The scaled/mixed legs pass ``streaming=False``: class descriptors
+    # always run inline (sharding them would multiply the context
+    # rebuild cost), so the jobs legs must hand the runner materialized
+    # lists or ``speedup_jobs_vs_batch`` would measure inline execution
+    # instead of the sharded transport it gates.
     universe = standard_fault_universe(
         n_words,
         args.width,
@@ -116,6 +137,7 @@ def build_workload(args, n_words: int):
         rng=random.Random(0),
         include_rdf=True,
         include_af=True,
+        streaming=streaming,
     )
     flows = {
         "compare": compare_flow(
@@ -218,6 +240,30 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument(
+        "--megaword-words", type=int, default=1 << 20,
+        help="memory size of the megaword packed-kernel leg",
+    )
+    parser.add_argument(
+        "--megaword-classes", default="SAF,TF,RDF,DRDF",
+        help="single-cell classes raced at megaword size (subset of "
+        "SAF,TF,RDF,DRDF)",
+    )
+    parser.add_argument(
+        "--megaword-samples", type=int, default=64,
+        help="evenly-strided faults per class timed through the "
+        "per-fault dispatch path (the whole class would take tens of "
+        "minutes there — which is the point)",
+    )
+    parser.add_argument(
+        "--megaword-spotchecks", type=int, default=2,
+        help="low-address detected faults per class replayed through "
+        "the reference interpreter as ground truth",
+    )
+    parser.add_argument(
+        "--skip-megaword", action="store_true",
+        help="skip the megaword leg (quick local runs)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=max(2, min(4, os.cpu_count() or 1)),
         help="worker processes for the batch+jobs legs (>= 2 so the "
         "sharded runner is always exercised)",
@@ -275,7 +321,9 @@ def main(argv=None) -> int:
     payload["workloads"]["base"] = base
 
     # -- scaled workload: batch vs batch+jobs, both oracles -------------
-    _, universe, flows = build_workload(args, args.scaled_words)
+    _, universe, flows = build_workload(
+        args, args.scaled_words, streaming=False
+    )
     n_faults = sum(len(faults) for faults in universe.values())
     total_ops = n_faults * program.op_count * args.scaled_words
     scaled = {
@@ -377,12 +425,98 @@ def main(argv=None) -> int:
     mixed_ok = aliasing_builds <= args.jobs
     payload["workloads"]["mixed"] = mixed
 
+    # -- megaword workload: packed class kernels at >= 2^20 words -------
+    mega_ok = True
+    if not args.skip_megaword:
+        n = args.megaword_words
+        available = {
+            "SAF": StuckAtClass(n, args.width),
+            "TF": TransitionClass(n, args.width),
+            "RDF": ReadDisturbClass(n, args.width, deceptive=False),
+            "DRDF": ReadDisturbClass(n, args.width, deceptive=True),
+        }
+        mega_names = [
+            c.strip() for c in args.megaword_classes.split(",") if c.strip()
+        ]
+        unknown = [c for c in mega_names if c not in available]
+        if unknown:
+            parser.error(
+                f"--megaword-classes: unknown {', '.join(unknown)} "
+                f"(choose from {', '.join(available)})"
+            )
+        words = _initial_words(n, args.width, None, args.seed)
+        started = time.perf_counter()
+        ctx = batch_module._CampaignContext(
+            compile_march(twm.twmarch, args.width), n, words, True
+        )
+        ctx_seconds = time.perf_counter() - started
+        reference_flow = compare_flow(
+            twm.twmarch, n, args.width, initial=words
+        )
+        mega = {
+            "n_words": n,
+            "context_build_seconds": round(ctx_seconds, 6),
+            "perfault_samples_per_class": args.megaword_samples,
+            "classes": {},
+        }
+        sampled_identical = True
+        spot_identical = True
+        spot_total = 0
+        for cname in mega_names:
+            fault_class = available[cname]
+            started = time.perf_counter()
+            packed = ctx.detect_class(fault_class)
+            packed_seconds = max(time.perf_counter() - started, 1e-9)
+            n_class = len(fault_class)
+            stride = max(1, n_class // args.megaword_samples)
+            sample_idx = list(range(0, n_class, stride))
+            sample_idx = sample_idx[: args.megaword_samples]
+            samples = [fault_class[i] for i in sample_idx]
+            started = time.perf_counter()
+            per_verdicts = [ctx.detect(fault) for fault in samples]
+            per_seconds = max(time.perf_counter() - started, 1e-9)
+            identical = per_verdicts == [packed[i] for i in sample_idx]
+            sampled_identical &= identical
+            packed_rate = n_class / packed_seconds
+            per_rate = len(samples) / per_seconds
+            mega["classes"][cname] = {
+                "n_faults": n_class,
+                "packed_seconds": round(packed_seconds, 6),
+                "packed_faults_per_sec": round(packed_rate, 1),
+                "perfault_faults_per_sec": round(per_rate, 1),
+                "speedup_packed_vs_perfault": round(
+                    packed_rate / per_rate, 2
+                ),
+                "sampled_verdicts_identical": identical,
+            }
+            # Ground truth: the first few *detected* samples sit at the
+            # lowest sampled addresses, so the stop-on-mismatch
+            # interpreter terminates within the first march elements.
+            spots = [
+                fault
+                for i, fault in zip(sample_idx, samples)
+                if packed[i]
+            ][: args.megaword_spotchecks]
+            for fault in spots:
+                spot_total += 1
+                spot_identical &= reference_flow(fault) is True
+        mega["min_speedup_packed_vs_perfault"] = min(
+            c["speedup_packed_vs_perfault"]
+            for c in mega["classes"].values()
+        )
+        mega["sampled_verdicts_identical"] = sampled_identical
+        mega["reference_spotchecks"] = spot_total
+        mega["reference_spotcheck_identical"] = spot_identical
+        mega_ok = sampled_identical and spot_identical
+        ok &= mega_ok
+        payload["workloads"]["megaword"] = mega
+
     payload["checks"] = {
         "all_vectors_identical": ok,
         "af_fast_path": all(
             w["modes"][m]["batch_reference_fallbacks"] == 0
             for w in payload["workloads"].values()
-            for m in w["modes"]
+            for m in w.get("modes", ())
         ),
         # The mixed run's aliasing campaign reused the session contexts
         # the signature campaign built (allowing one cold build per

@@ -16,7 +16,14 @@ the committed baseline and fails when:
   runner must *beat* single-process batch, not merely match it.  These
   assertions are **skipped with an explicit note when the fresh run's
   ``cpu_count`` is 1**: process sharding cannot exceed 1x on a
-  single-CPU host, so the jobs legs are reported but not gated there.
+  single-CPU host, so the jobs legs are reported but not gated there;
+* the megaword workload's ``min_speedup_packed_vs_perfault`` falls
+  below the absolute ``--megaword-floor`` (default 10x), its sampled
+  verdicts disagree with the per-fault path, or its reference
+  spot-checks disagree — the packed class kernels must both beat and
+  bit-match per-fault dispatch at ``>= 2^20`` words.  Skipped with a
+  note when the *baseline* has no megaword leg yet (first landing) or
+  the fresh run used ``--skip-megaword``.
 
 Usage::
 
@@ -35,6 +42,7 @@ import sys
 
 DEFAULT_THRESHOLD = 0.7
 DEFAULT_JOBS_FLOOR = 1.2
+DEFAULT_MEGAWORD_FLOOR = 10.0
 
 # The batch-vs-reference gate covers every oracle leg of the base
 # workload — signature and aliasing included, not just compare.
@@ -56,6 +64,7 @@ def check(
     fresh: dict,
     threshold: float,
     jobs_floor: float,
+    megaword_floor: float = DEFAULT_MEGAWORD_FLOOR,
 ) -> tuple[list[str], list[str]]:
     """``(failures, notes)`` — failures empty when the gate passes."""
     failures: list[str] = []
@@ -119,6 +128,40 @@ def check(
                     f"below the {jobs_floor:.2f}x floor "
                     f"(cpu_count={cpu_count})"
                 )
+
+    # -- megaword: packed class kernels vs per-fault dispatch -----------
+    if baseline.get("workloads", {}).get("megaword") is None:
+        notes.append(
+            "baseline has no megaword workload yet: the packed-kernel "
+            "assertions gate once a baseline with the leg is committed"
+        )
+    elif (mega := fresh.get("workloads", {}).get("megaword")) is None:
+        notes.append(
+            "fresh run skipped the megaword leg (--skip-megaword): "
+            "packed-kernel assertions not gated"
+        )
+    else:
+        value = mega.get("min_speedup_packed_vs_perfault")
+        if value is None:
+            failures.append(
+                "megaword: min_speedup_packed_vs_perfault missing from "
+                "fresh benchmark"
+            )
+        elif value < megaword_floor:
+            failures.append(
+                f"megaword: packed-kernel speedup {value:.2f}x is below "
+                f"the {megaword_floor:.2f}x floor"
+            )
+        if not mega.get("sampled_verdicts_identical", False):
+            failures.append(
+                "megaword: sampled packed verdicts disagree with the "
+                "per-fault dispatch path"
+            )
+        if not mega.get("reference_spotcheck_identical", False):
+            failures.append(
+                "megaword: reference interpreter spot-checks disagree "
+                "with the packed verdicts"
+            )
     return failures, notes
 
 
@@ -150,11 +193,22 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute minimum jobs-vs-batch speedup on multi-core "
         "hosts (default %(default)s; skipped when cpu_count == 1)",
     )
+    parser.add_argument(
+        "--megaword-floor",
+        type=float,
+        default=DEFAULT_MEGAWORD_FLOOR,
+        help="absolute minimum packed-kernel vs per-fault speedup of "
+        "the megaword workload (default %(default)s; skipped when the "
+        "baseline has no megaword leg)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    failures, notes = check(baseline, fresh, args.threshold, args.jobs_floor)
+    failures, notes = check(
+        baseline, fresh, args.threshold, args.jobs_floor,
+        args.megaword_floor,
+    )
 
     for key in ("speedup_batch_vs_reference", "speedup_jobs_vs_batch"):
         fresh_ratios = speedup_ratios(fresh, key)
@@ -165,6 +219,13 @@ def main(argv: list[str] | None = None) -> int:
             base_text = "-" if base_value is None else f"{base_value:.2f}x"
             fresh_text = "-" if fresh_value is None else f"{fresh_value:.2f}x"
             print(f"  {key} {leg}: baseline {base_text} -> fresh {fresh_text}")
+    for payload, label in ((baseline, "baseline"), (fresh, "fresh")):
+        mega = payload.get("workloads", {}).get("megaword")
+        if mega is not None:
+            print(
+                f"  min_speedup_packed_vs_perfault megaword ({label}): "
+                f"{mega.get('min_speedup_packed_vs_perfault')}x"
+            )
     for note in notes:
         print(f"note: {note}")
 

@@ -46,6 +46,8 @@ from ..engine import (
     CompareWork,
     ContextStats,
     Engine,
+    PackedPairVerdicts,
+    PackedVerdicts,
     SignatureWork,
     get_engine,
 )
@@ -309,29 +311,58 @@ def run_campaign(
     try:
         for class_name, faults in universe.items():
             started = time.perf_counter()
-            if runner is not None:
-                verdicts = runner.detect_class(
-                    work, faults, class_name=class_name
-                )
-            else:
-                verdicts = [flow(fault) for fault in faults]
             detected = 0
             stream_hits = 0
             aliased = 0
             missed: list[Fault] = []
-            for fault, verdict in zip(faults, verdicts, strict=True):
+            if runner is not None:
+                # Packed end to end: the runner hands back the class's
+                # verdict bitset, the counters are popcounts, and only
+                # the kept-missed sample (<= keep_undetected) ever
+                # materializes a fault object here.
+                packed = runner.detect_class_packed(
+                    work, faults, class_name=class_name
+                )
+                if len(packed) != len(faults):
+                    raise RuntimeError(
+                        f"class {class_name!r} returned {len(packed)} "
+                        f"verdicts for {len(faults)} faults"
+                    )
                 if pair_verdicts:
-                    stream, hit = _verdict_as_pair(verdict, flow_name)
-                    if stream:
-                        stream_hits += 1
-                        if not hit:
-                            aliased += 1
+                    if not isinstance(packed, PackedPairVerdicts):
+                        raise TypeError(
+                            f"aliasing flow {flow_name!r} produced "
+                            f"{type(packed).__name__}; expected packed "
+                            "(stream, signature) pair verdicts"
+                        )
+                    stream_hits = packed.stream_count()
+                    aliased = packed.aliased_count()
                 else:
-                    hit = _verdict_as_bool(verdict, flow_name)
-                if hit:
-                    detected += 1
-                elif len(missed) < keep_undetected:
-                    missed.append(fault)
+                    if not isinstance(packed, PackedVerdicts):
+                        raise TypeError(
+                            f"flow {flow_name!r} produced "
+                            f"{type(packed).__name__}; expected packed "
+                            "bool verdicts"
+                        )
+                detected = packed.count()
+                missed = [
+                    faults[i] for i in packed.missed_indices(keep_undetected)
+                ]
+            else:
+                verdicts = [flow(fault) for fault in faults]
+                for fault, verdict in zip(faults, verdicts, strict=True):
+                    if pair_verdicts:
+                        stream, hit = _verdict_as_pair(verdict, flow_name)
+                        if stream:
+                            stream_hits += 1
+                            if not hit:
+                                aliased += 1
+                    else:
+                        hit = _verdict_as_bool(verdict, flow_name)
+                    if hit:
+                        detected += 1
+                    elif len(missed) < keep_undetected:
+                        missed.append(fault)
             coverage = ClassCoverage(
                 class_name,
                 len(faults),

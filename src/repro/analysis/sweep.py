@@ -32,6 +32,18 @@ engine is equivalence-tested against ``reference``/``batch``), and the
 one-shot path amortizes all replay work across the sweep —
 ``benchmarks/bench_table3_wordsize_sweep.py`` races the two legs and
 gates the speedup.
+
+Both drivers dispatch whole fault classes, never individual faults:
+the population is streaming :class:`~repro.memory.injection.FaultClass`
+descriptors, the symbolic leg prices each class as a handful of packed
+family replays (:meth:`~repro.engine.symbolic._SymbolicCampaign.
+_build_family`), and the campaign leg's ``run_campaign`` hands each
+descriptor to the batch engine's class kernels
+(:meth:`~repro.engine.BatchEngine.detect_class_batch`).  The SAF
+kernel accepts classes *narrower* than the campaign width, so the
+sweep's cross-width scenario — one population enumerated at
+``universe_width``, simulated at every swept width — stays on the
+packed path for its largest class at every width.
 """
 
 from __future__ import annotations
@@ -129,8 +141,9 @@ def _sweep_universe(
     seed: int,
     max_inter_pairs: int | None,
 ):
-    """The width-sweep fault population: enumerated once, evaluated at
-    every swept width by both drivers."""
+    """The width-sweep fault population: described once (streaming
+    class descriptors — nothing is materialized per fault), evaluated
+    at every swept width by both drivers."""
     return standard_fault_universe(
         n_words,
         universe_width,

@@ -169,6 +169,15 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         include_rdf=not args.no_extension_classes,
         include_af=not args.no_extension_classes,
     )
+    if args.classes is not None:
+        wanted = [c.strip() for c in args.classes.split(",") if c.strip()]
+        unknown = [c for c in wanted if c not in universe]
+        if not wanted or unknown:
+            raise ValueError(
+                f"--classes expects a comma-separated subset of "
+                f"{', '.join(universe)}; got {args.classes!r}"
+            )
+        universe = {name: universe[name] for name in wanted}
     flows = {}
     for mode in modes:
         if mode == "signature":
@@ -281,6 +290,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (widths, word
+    counts, jobs, pair caps): rejected at the parser with a clean
+    usage error, before any geometry math can wrap around."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     transform = sub.add_parser("transform", help="run a transformation")
     transform.add_argument("name")
-    transform.add_argument("--width", type=int, default=32)
+    transform.add_argument("--width", type=_positive_int, default=32)
     transform.add_argument(
         "--scheme", choices=("twm", "scheme1"), default="twm"
     )
@@ -311,12 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     coverage = sub.add_parser("coverage", help="fault-simulate a TWMarch")
     coverage.add_argument("name")
-    coverage.add_argument("--width", type=int, default=8)
+    coverage.add_argument("--width", type=_positive_int, default=8)
     # Scaled default workload: the batch engine evaluates whole fault
     # classes per O(op_count) pass, so 16 words costs what 4 used to.
-    coverage.add_argument("--words", type=int, default=16)
+    coverage.add_argument("--words", type=_positive_int, default=16)
     coverage.add_argument("--seed", type=int, default=0)
-    coverage.add_argument("--max-inter-pairs", type=int, default=16)
+    coverage.add_argument(
+        "--max-inter-pairs", type=_positive_int, default=16
+    )
     coverage.add_argument(
         "--engine",
         choices=engine_names(),
@@ -325,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     coverage.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         help="worker processes for sharded campaign execution "
         "(deterministic: same report for any value)",
@@ -340,12 +368,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(or 'all') runs a mixed-mode campaign through one persistent "
         "runner whose context cache is shared across the modes",
     )
-    coverage.add_argument("--misr-width", type=int, default=16)
+    coverage.add_argument("--misr-width", type=_positive_int, default=16)
     coverage.add_argument(
         "--no-extension-classes",
         action="store_true",
         help="restrict the universe to the historical Section 2 "
         "classes (drop RDF/DRDF/AF)",
+    )
+    coverage.add_argument(
+        "--classes",
+        default=None,
+        help="comma-separated subset of universe class names to "
+        "simulate (e.g. 'SAF,TF'); the megaword CI smoke leg uses "
+        "this to bound runtime at 2^20 words",
     )
 
     table2 = sub.add_parser(
@@ -359,9 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=",".join(map(str, DEFAULT_WIDTHS)),
         help="comma-separated word widths to concretize at",
     )
-    table2.add_argument("--words", type=int, default=4)
+    table2.add_argument("--words", type=_positive_int, default=4)
     table2.add_argument("--seed", type=int, default=0)
-    table2.add_argument("--max-inter-pairs", type=int, default=8)
+    table2.add_argument("--max-inter-pairs", type=_positive_int, default=8)
     table2.add_argument(
         "--engines",
         default="reference,batch",

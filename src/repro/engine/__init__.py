@@ -59,6 +59,7 @@ from .program import (
     compile_symbolic,
 )
 from .reference import ReferenceEngine, execute_program
+from .verdicts import PackedPairVerdicts, PackedVerdicts
 
 # Imported last: the symbolic backend reuses the analysis layer's mask
 # tracking, and repro.analysis.coverage imports back from this package
@@ -83,6 +84,8 @@ __all__ = [
     "Engine",
     "ExecutionError",
     "MarchProgram",
+    "PackedPairVerdicts",
+    "PackedVerdicts",
     "ProgramElement",
     "ProgramOp",
     "ReadRecord",

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..memory.faults import Fault
     from ..memory.model import Memory
     from .program import MarchProgram
+    from .verdicts import PackedPairVerdicts, PackedVerdicts
 
 
 class ExecutionError(RuntimeError):
@@ -265,6 +266,107 @@ class Engine:
                 )
             )
         return out
+
+    def detect_class_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        derive_writes: bool = True,
+        context: object = None,
+    ) -> "PackedVerdicts":
+        """Compare-oracle verdicts for a whole fault class, packed.
+
+        Same oracle as :meth:`detect_batch`, but the result is a
+        :class:`~repro.engine.verdicts.PackedVerdicts` bitset —
+        campaigns count, transport, and sample undetected faults from
+        the packed form without building per-fault bool lists.  The
+        base implementation packs the per-fault loop's output; the
+        batch backend overrides it with one-pass class kernels over
+        streaming :class:`~repro.memory.injection.FaultClass`
+        descriptors.
+        """
+        from .verdicts import PackedVerdicts
+
+        kwargs = {} if context is None else {"context": context}
+        return PackedVerdicts.from_bools(
+            self.detect_batch(
+                test,
+                n_words,
+                width,
+                words,
+                faults,
+                derive_writes=derive_writes,
+                **kwargs,
+            )
+        )
+
+    def detect_class_signature_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        prediction: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+        context: object = None,
+    ) -> "PackedVerdicts":
+        """Signature-oracle verdicts for a whole fault class, packed
+        (:meth:`detect_signature_batch` lifted to bitsets)."""
+        from .verdicts import PackedVerdicts
+
+        kwargs = {} if context is None else {"context": context}
+        return PackedVerdicts.from_bools(
+            self.detect_signature_batch(
+                test,
+                prediction,
+                n_words,
+                width,
+                words,
+                faults,
+                misr_width=misr_width,
+                misr_seed=misr_seed,
+                **kwargs,
+            )
+        )
+
+    def detect_class_aliasing_batch(
+        self,
+        test: "MarchTest | MarchProgram",
+        prediction: "MarchTest | MarchProgram",
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: "Sequence[Fault]",
+        *,
+        misr_width: int = 16,
+        misr_seed: int = 0,
+        context: object = None,
+    ) -> "PackedPairVerdicts":
+        """Aliasing-oracle pair verdicts for a whole fault class, packed
+        (:meth:`detect_aliasing_batch` lifted to paired bitsets)."""
+        from .verdicts import PackedPairVerdicts
+
+        kwargs = {} if context is None else {"context": context}
+        return PackedPairVerdicts.from_pairs(
+            self.detect_aliasing_batch(
+                test,
+                prediction,
+                n_words,
+                width,
+                words,
+                faults,
+                misr_width=misr_width,
+                misr_seed=misr_seed,
+                **kwargs,
+            )
+        )
 
     def detect_symbolic(
         self,

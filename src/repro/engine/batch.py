@@ -72,9 +72,17 @@ from ..memory.faults import (
     StuckAtFault,
     TransitionFault,
 )
+from ..memory.injection import (
+    FaultClass,
+    IntraWordCFClass,
+    ReadDisturbClass,
+    StuckAtClass,
+    TransitionClass,
+)
 from .base import Engine, ExecutionError, ReadSink, RunResult, register_engine
 from .program import MarchProgram, pack_words, replicate_mask
 from .reference import execute_program
+from .verdicts import PackedVerdicts
 
 
 class BatchEngine(Engine):
@@ -211,6 +219,50 @@ class BatchEngine(Engine):
             ctx = context
         return [ctx.detect(fault) for fault in faults]
 
+    def detect_class_batch(
+        self,
+        test,
+        n_words: int,
+        width: int,
+        words: Sequence[int],
+        faults: Sequence[Fault],
+        *,
+        derive_writes: bool = True,
+        context: "_CampaignContext | None" = None,
+    ) -> PackedVerdicts:
+        """Compare-oracle verdicts of a whole fault class in packed
+        one-pass kernels.
+
+        When *faults* is a streaming
+        :class:`~repro.memory.injection.FaultClass` descriptor and the
+        program is derivable, the verdict bitset comes straight off the
+        campaign context's packed planes — no per-fault ``Fault``
+        objects, no per-fault dispatch.  Anything else (materialized
+        lists, underivable programs) takes the per-fault path and is
+        packed on the way out.
+        """
+        program = self._program(test, width)
+        if not isinstance(faults, FaultClass) or (
+            derive_writes and not program.derivable
+        ):
+            return super().detect_class_batch(
+                program, n_words, width, words, faults,
+                derive_writes=derive_writes, context=context,
+            )
+        if context is None:
+            ctx = _CampaignContext(program, n_words, words, derive_writes)
+        else:
+            self._check_context(
+                context, _CampaignContext, program, n_words, words
+            )
+            if context.derive != derive_writes:
+                raise ExecutionError(
+                    "prebuilt campaign context was built for the other "
+                    "derived-write datapath"
+                )
+            ctx = context
+        return ctx.detect_class(faults)
+
     def detect_signature_batch(
         self,
         test,
@@ -324,6 +376,8 @@ class _CampaignContext:
         self._saf: tuple[int, int] | None = None
         self._tf: dict[bool, int] = {}
         self._rdf: dict[bool, int] = {}
+        self._lane_cache: dict[int, int] = {}
+        self._fold_cache: dict[int, int] = {}
 
     # -- dispatch ------------------------------------------------------
     def detect(self, fault: Fault) -> bool:
@@ -358,6 +412,175 @@ class _CampaignContext:
 
     def _pos(self, cell) -> int:
         return cell.addr * self.width + cell.bit
+
+    # -- class-level dispatch ------------------------------------------
+    def detect_class(self, fault_class: FaultClass) -> PackedVerdicts:
+        """Packed verdict bitset of one whole fault class.
+
+        The strided class kernels apply when the class geometry matches
+        this campaign and the fault-free baseline is clean (always, for
+        well-formed tests); everything else — inter-word CF classes, AF
+        classes, mismatched geometry, ill-formed tests — streams through
+        the exact per-fault dispatch one fault at a time, so no path
+        ever materializes the class as a list.
+        """
+        n, w = self.n_words, self.width
+        exact = fault_class.n_words == n and fault_class.width == w
+        if self._baseline_plane() == 0:
+            if (
+                isinstance(fault_class, StuckAtClass)
+                and fault_class.n_words == n
+                and fault_class.width <= w
+            ):
+                # The SAF verdict is address- and content-independent
+                # (see _saf_planes), so a narrower class just replicates
+                # the truncated accumulators at its own lane width.
+                cw = fault_class.width
+                saf0, saf1 = self._saf_planes()
+                cmask = (1 << cw) - 1
+                return PackedVerdicts(
+                    len(fault_class),
+                    (
+                        replicate_mask(saf0 & cmask, n, cw),
+                        replicate_mask(saf1 & cmask, n, cw),
+                    ),
+                    stride=2,
+                )
+            if exact and isinstance(fault_class, TransitionClass):
+                return PackedVerdicts(
+                    len(fault_class),
+                    (self._tf_plane(True), self._tf_plane(False)),
+                    stride=2,
+                )
+            if exact and isinstance(fault_class, ReadDisturbClass):
+                return PackedVerdicts(
+                    len(fault_class),
+                    (self._rdf_plane(fault_class.deceptive),),
+                )
+            if exact and isinstance(fault_class, IntraWordCFClass) and w > 1:
+                return self._intra_cf_class(fault_class)
+        return PackedVerdicts.from_bools(
+            self.detect(fault) for fault in fault_class
+        )
+
+    def _intra_cf_class(self, fault_class: IntraWordCFClass) -> PackedVerdicts:
+        """All intra-word coupling faults of one kind: one packed pass
+        per (bit pair, parameter variant) — ``width*(width-1) *
+        variants`` passes answer the whole class for every address at
+        once, with the per-lane any-bit fold placing each verdict at
+        its word lane's bit 0 (``slot_stride = width``)."""
+        vectors = []
+        for pair_index in range(fault_class.n_pairs):
+            a_bit, v_bit = fault_class.pair_bits(pair_index)
+            for variant in range(fault_class.variants):
+                det = self._packed_coupling_run(
+                    fault_class.cf_kind, a_bit, v_bit, variant
+                )
+                vectors.append(self._lane_any(det))
+        return PackedVerdicts(
+            len(fault_class),
+            vectors,
+            stride=fault_class.n_pairs * fault_class.variants,
+            slot_stride=self.width,
+        )
+
+    def _bit_lane(self, bit: int) -> int:
+        """``1 << bit`` replicated across every word lane (cached)."""
+        lane = self._lane_cache.get(bit)
+        if lane is None:
+            lane = replicate_mask(1 << bit, self.n_words, self.width)
+            self._lane_cache[bit] = lane
+        return lane
+
+    def _lane_any(self, det: int) -> int:
+        """OR-fold each word lane of a packed mismatch plane down to
+        the lane's bit 0.  Every shifted term is masked to the low
+        ``width - shift`` bits of its lane so no bit crosses into the
+        neighbouring word (which matters for non-power-of-two widths).
+        """
+        w = self.width
+        shift = 1
+        while shift < w:
+            fold = self._fold_cache.get(shift)
+            if fold is None:
+                fold = replicate_mask(
+                    (1 << (w - shift)) - 1, self.n_words, w
+                )
+                self._fold_cache[shift] = fold
+            det |= (det >> shift) & fold
+            shift <<= 1
+        return det & self._bit_lane(0)
+
+    def _packed_coupling_run(
+        self, cf_kind: str, a_bit: int, v_bit: int, variant: int
+    ) -> int:
+        """One word-parallel pass hypothesising the same intra-word
+        coupling fault (aggressor bit, victim bit, parameter variant)
+        in *every* word lane at once.
+
+        Intra-word coupling confines the fault to its own word, so the
+        lanes evolve independently and one pass simulates ``n_words``
+        faults; the semantics mirror :meth:`_coupling` bit for bit —
+        continuous CFst forcing after the initial load and every store,
+        CFid/CFin triggered by aggressor transitions of stores.  The
+        returned plane keeps accumulating after a lane's first
+        mismatch; the verdict is the lane OR, and detection is
+        monotone, so the extra bits are harmless.
+        """
+        aggr_lane = self._bit_lane(a_bit)
+        shift = v_bit - a_bit
+        rising = x = y = False
+        if cf_kind == "CFst":
+            y, x = divmod(variant, 2)
+        elif cf_kind == "CFid":
+            half, x = divmod(variant, 2)
+            rising = half == 0
+        else:
+            rising = variant == 0
+
+        def enforce(state: int) -> int:
+            cond = (state & aggr_lane) if y else (~state & aggr_lane)
+            cond = (cond << shift) if shift >= 0 else (cond >> -shift)
+            return (state | cond) if x else (state & ~cond)
+
+        state = self._packed
+        if cf_kind == "CFst":
+            state = enforce(state)  # loaded content expresses the defect
+        snap = state
+        det = 0
+        derive = self.derive
+        for element, rep_masks in zip(self.program.elements, self._replicated()):
+            last_raw = 0
+            last_mask = 0
+            for (is_read, relative, _mask, _ok), mrep in zip(
+                element.steps, rep_masks
+            ):
+                if is_read:
+                    det |= state ^ ((snap ^ mrep) if relative else mrep)
+                    last_raw, last_mask = state, mrep
+                else:
+                    if relative and derive:
+                        value = last_raw ^ last_mask ^ mrep
+                    elif relative:
+                        value = snap ^ mrep
+                    else:
+                        value = mrep
+                    if cf_kind == "CFst":
+                        state = enforce(value)
+                    else:
+                        trig = (
+                            (state ^ value)
+                            & (value if rising else ~value)
+                            & aggr_lane
+                        )
+                        trig = (
+                            (trig << shift) if shift >= 0 else (trig >> -shift)
+                        )
+                        if cf_kind == "CFid":
+                            state = (value | trig) if x else (value & ~trig)
+                        else:
+                            state = value ^ trig
+        return det
 
     # -- fault-free baseline -------------------------------------------
     def _baseline_plane(self) -> int:

@@ -67,12 +67,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from ..memory.injection import FaultClass
 from .base import Engine, engine_names, get_engine
 from .context import ContextCache, ContextStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.march import MarchTest
     from ..memory.faults import Fault
+    from .verdicts import PackedPairVerdicts, PackedVerdicts
 
 
 @dataclass(frozen=True)
@@ -117,6 +119,20 @@ class CompareWork:
         # entirely (custom engines overriding the old signatures).
         kwargs = {} if context is None else {"context": context}
         return engine.detect_batch(
+            self.test,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            derive_writes=self.derive_writes,
+            **kwargs,
+        )
+
+    def run_class(
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
+    ) -> "PackedVerdicts":
+        kwargs = {} if context is None else {"context": context}
+        return engine.detect_class_batch(
             self.test,
             self.n_words,
             self.width,
@@ -183,6 +199,22 @@ class SignatureWork:
             **kwargs,
         )
 
+    def run_class(
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
+    ) -> "PackedVerdicts":
+        kwargs = {} if context is None else {"context": context}
+        return engine.detect_class_signature_batch(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            misr_width=self.misr_width,
+            misr_seed=self.misr_seed,
+            **kwargs,
+        )
+
 
 @dataclass(frozen=True)
 class AliasingWork(SignatureWork):
@@ -198,6 +230,22 @@ class AliasingWork(SignatureWork):
     ) -> list[tuple[bool, bool]]:
         kwargs = {} if context is None else {"context": context}
         return engine.detect_aliasing_batch(
+            self.test,
+            self.prediction,
+            self.n_words,
+            self.width,
+            list(self.words),
+            faults,
+            misr_width=self.misr_width,
+            misr_seed=self.misr_seed,
+            **kwargs,
+        )
+
+    def run_class(
+        self, engine: Engine, faults: "Sequence[Fault]", context: object = None
+    ) -> "PackedPairVerdicts":
+        kwargs = {} if context is None else {"context": context}
+        return engine.detect_class_aliasing_batch(
             self.test,
             self.prediction,
             self.n_words,
@@ -242,11 +290,14 @@ def _worker_cache(engine_name: str) -> ContextCache:
 def _run_chunk(engine_name, work, faults):
     """Worker entry point for the unbound path: the chunk carries its
     pickled work unit and fault slice; the context is served from the
-    worker's persistent cache.  Returns ``(verdicts, stats_delta)``
-    (module-level so it pickles under both fork and spawn)."""
+    worker's persistent cache.  Returns ``(packed_verdicts,
+    stats_delta)`` — the packed bitset pickles back to the parent at a
+    few bytes per 8 faults, where the old per-fault bool/tuple lists
+    rivalled the simulation cost of a chunk (module-level so it
+    pickles under both fork and spawn)."""
     cache = _worker_cache(engine_name)
     ctx = cache.get(work)
-    verdicts = work.run(cache.engine, faults, context=ctx.payload)
+    verdicts = work.run_class(cache.engine, faults, context=ctx.payload)
     return verdicts, cache.take_stats().as_dict()
 
 
@@ -285,7 +336,7 @@ def _run_bound_chunk(engine_name, token, key, class_name, start, stop):
     faults = classes[class_name][start:stop]
     cache = _worker_cache(engine_name)
     ctx = cache.get(work)
-    verdicts = work.run(cache.engine, faults, context=ctx.payload)
+    verdicts = work.run_class(cache.engine, faults, context=ctx.payload)
     return verdicts, cache.take_stats().as_dict()
 
 
@@ -355,7 +406,7 @@ class CampaignRunner:
         self._cache = ContextCache(self.engine, max_contexts)
         self._worker_stats = ContextStats()
         self._bound_works: "dict[tuple, object] | None" = None
-        self._bound_classes: "dict[str, list[Fault]] | None" = None
+        self._bound_classes: "dict[str, Sequence[Fault]] | None" = None
         self._bound_refs: "dict[str, Sequence[Fault]] | None" = None
         self._bound_token: int | None = None
 
@@ -432,8 +483,12 @@ class CampaignRunner:
                 return  # already bound — keep pool and warm caches
         self._drop_binding()
         self._bound_works = new_works
+        # Streaming FaultClass descriptors are bound as-is — they are
+        # tiny, index-addressable and picklable, so workers never need
+        # (and the parent never builds) a materialized copy.
         self._bound_classes = {
-            name: list(faults) for name, faults in universe.items()
+            name: faults if isinstance(faults, FaultClass) else list(faults)
+            for name, faults in universe.items()
         }
         # The caller's original per-class sequences, for the identity
         # short-circuit of the common same-universe re-bind.
@@ -452,15 +507,23 @@ class CampaignRunner:
         # Identity of the caller's sequences (the common case: one
         # universe object reused across modes) makes the re-bind check
         # O(classes); only genuinely new sequences pay the deep
-        # element-wise comparison.
-        return all(
-            refs.get(name) is universe[name]
-            or (
-                len(bound[name]) == len(universe[name])
-                and bound[name] == list(universe[name])
+        # element-wise comparison.  FaultClass descriptors compare by
+        # enumeration spec — O(1), and never equal to a plain list, so
+        # swapping representations rebinds (correct, merely colder).
+        def matches(name: str) -> bool:
+            bound_faults = bound[name]
+            new_faults = universe[name]
+            if refs.get(name) is new_faults:
+                return True
+            if isinstance(bound_faults, FaultClass) or isinstance(
+                new_faults, FaultClass
+            ):
+                return bound_faults == new_faults
+            return len(bound_faults) == len(new_faults) and bound_faults == list(
+                new_faults
             )
-            for name in bound
-        )
+
+        return all(matches(name) for name in bound)
 
     # -- execution -----------------------------------------------------
     def detect_class(
@@ -470,12 +533,30 @@ class CampaignRunner:
         *,
         class_name: str | None = None,
     ) -> list[bool]:
-        """Verdicts for one fault class, bit-identical to
+        """Verdicts for one fault class as a plain per-fault list,
+        bit-identical to ``work.run(engine, faults)`` executed
+        sequentially (the packed pipeline, unpacked at the end)."""
+        return self.detect_class_packed(
+            work, faults, class_name=class_name
+        ).tolist()
+
+    def detect_class_packed(
+        self,
+        work,
+        faults: "Sequence[Fault]",
+        *,
+        class_name: str | None = None,
+    ) -> "PackedVerdicts | PackedPairVerdicts":
+        """Packed verdict bitset for one fault class, bit-identical to
         ``work.run(engine, faults)`` executed sequentially.
 
         When *class_name* names a class of a prior :meth:`bind` (and
         the work unit was bound), the bound copies are what the workers
-        evaluate — the zero-copy fork path.
+        evaluate — the zero-copy fork path.  Streaming
+        :class:`~repro.memory.injection.FaultClass` descriptors always
+        run inline: their class kernels answer the whole class in a few
+        packed passes over state the workers would each have to rebuild,
+        so sharding them would multiply the context work it saves.
         """
         key = work_key(work)
         bound = (
@@ -485,12 +566,22 @@ class CampaignRunner:
             and class_name in self._bound_classes
             and key in (self._bound_works or ())
         )
-        faults = (
-            self._bound_classes[class_name] if bound else list(faults)
-        )
-        if self.jobs == 1 or len(faults) < 2 * self.min_chunk:
+        if bound:
+            # Fail fast in the parent too: the inline FaultClass path
+            # below never consults the forked workers, but running it
+            # against a clobbered binding would still interleave two
+            # bound campaigns in one process.
+            self._check_live_binding()
+            faults = self._bound_classes[class_name]
+        elif not isinstance(faults, FaultClass):
+            faults = list(faults)
+        if (
+            isinstance(faults, FaultClass)
+            or self.jobs == 1
+            or len(faults) < 2 * self.min_chunk
+        ):
             ctx = self._cache.get(work)
-            return work.run(self.engine, faults, context=ctx.payload)
+            return work.run_class(self.engine, faults, context=ctx.payload)
         n_chunks = min(
             self.jobs * self.chunks_per_job,
             max(1, len(faults) // self.min_chunk),
@@ -498,7 +589,7 @@ class CampaignRunner:
         bounds = shard_bounds(len(faults), n_chunks)
         if len(bounds) <= 1:
             ctx = self._cache.get(work)
-            return work.run(self.engine, faults, context=ctx.payload)
+            return work.run_class(self.engine, faults, context=ctx.payload)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=self._context
@@ -518,14 +609,27 @@ class CampaignRunner:
                 )
                 for start, stop in bounds
             ]
-        verdicts: list[bool] = []
+        parts = []
         for future in futures:  # submission order == fault order
             chunk_verdicts, stats = future.result()
-            verdicts.extend(chunk_verdicts)
+            parts.append(chunk_verdicts)
             self._worker_stats.merge(stats)
-        if len(verdicts) != len(faults):
+        merged = type(parts[0]).concat(parts)
+        if len(merged) != len(faults):
             raise RuntimeError(
-                f"sharded class returned {len(verdicts)} verdicts for "
+                f"sharded class returned {len(merged)} verdicts for "
                 f"{len(faults)} faults; refusing to report truncated coverage"
             )
-        return verdicts
+        return merged
+
+    def _check_live_binding(self) -> None:
+        """Raise if this runner's binding has been clobbered by a later
+        ``bind()`` in this process (same guard the forked workers
+        apply, applied before any inline execution)."""
+        if self._bound_token is None:
+            return
+        if _BOUND is None or _BOUND[0] != self._bound_token:
+            raise RuntimeError(
+                "campaign binding changed after bind(); bound campaigns "
+                "must not interleave within one process"
+            )

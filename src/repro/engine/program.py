@@ -307,11 +307,26 @@ def pack_words(words: Sequence[int], width: int) -> int:
     Bit ``addr * width + bit`` of the result is bit ``bit`` of
     ``words[addr]`` — the bit-plane layout the batch engine's
     word-parallel evaluation operates on.
+
+    Combined pairwise (divide and conquer) so megaword memories pack in
+    O(n log n) big-int bit work; the naive ``|= word << (addr*width)``
+    accumulation re-touches the whole accumulator per word, which is
+    quadratic and dominates context construction at n_words >= 2**20.
     """
-    packed = 0
-    for addr, word in enumerate(words):
-        packed |= word << (addr * width)
-    return packed
+    chunks = list(words)
+    if not chunks:
+        return 0
+    span = width
+    while len(chunks) > 1:
+        paired = [
+            chunks[i] | (chunks[i + 1] << span)
+            for i in range(0, len(chunks) - 1, 2)
+        ]
+        if len(chunks) % 2:
+            paired.append(chunks[-1])
+        chunks = paired
+        span *= 2
+    return chunks[0]
 
 
 def replicate_mask(mask: int, n_words: int, width: int) -> int:

@@ -523,8 +523,10 @@ class _SymbolicCampaign:
             raise _NoSymbolicSemantics(fault.kind)
         table = self._tables.get(key)
         if table is None:
-            table = self._cell_table(fault)
-            self._tables[key] = table
+            table = self._build_family(fault, key)
+            if table is None:  # pragma: no cover - known kinds only
+                table = self._cell_table(fault)
+                self._tables[key] = table
         return CellSymbolicVerdict(self, fault, fault.cells, table)
 
     def _shape_key(self, fault: Fault):
@@ -563,12 +565,236 @@ class _SymbolicCampaign:
         return None
 
     def _cell_table(self, fault: Fault) -> AssignmentTable:
+        """Scalar shape table: one :meth:`_replay` per assignment.
+
+        Kept as the semantic reference for :meth:`_build_family` (the
+        packed path that :meth:`verdict` actually uses); the
+        equivalence tests compare the two entry for entry."""
         cells = fault.cells
         slots = tuple((cell.addr, cell.bit) for cell in cells)
         table = {}
         for assignment in itertools.product((0, 1), repeat=len(slots)):
             table[assignment] = self._replay(fault, slots, assignment)
         return AssignmentTable(table)
+
+    def _build_family(self, fault: Fault, key) -> "AssignmentTable | None":
+        """Evaluate *fault*'s whole shape family — every parameter
+        variant times every initial assignment — as bit lanes of a
+        single packed replay, populating all sibling ``_tables``
+        entries at once.
+
+        Faults sharing support-bit signatures differ only in their
+        scalar parameters (stuck value, rising edge, forced value, …),
+        and the per-bit replay is bitwise in those parameters, so the
+        2–4 assignments of all 2–4 parameter combinations fit in one
+        4–16-lane integer pass: lane ``p * n_assign + a`` carries
+        parameter combination ``p`` under initial assignment ``a``.
+        One program walk therefore prices the entire family where the
+        scalar path would run ``n_params * n_assign`` walks.  Returns
+        the table for *key* (``None`` for unknown kinds)."""
+        cells = fault.cells
+        slots = tuple((cell.addr, cell.bit) for cell in cells)
+        assignments = list(itertools.product((0, 1), repeat=len(slots)))
+        n_assign = len(assignments)
+
+        if isinstance(fault, StuckAtFault):
+            sig = self._sig_id(fault.cell.bit)
+            members = [({"value": v}, ("SAF", v, sig)) for v in (0, 1)]
+        elif isinstance(fault, TransitionFault):
+            sig = self._sig_id(fault.cell.bit)
+            members = [
+                ({"rising": r}, ("TF", r, sig)) for r in (True, False)
+            ]
+        elif isinstance(fault, ReadDisturbFault):
+            sig = self._sig_id(fault.cell.bit)
+            members = [
+                ({"deceptive": d}, ("RDF", d, sig)) for d in (True, False)
+            ]
+        elif isinstance(fault, CouplingFault):
+            aggr, vict = fault.aggressor, fault.victim
+            order = "intra" if fault.intra_word else aggr.addr < vict.addr
+            siga = self._sig_id(aggr.bit)
+            sigv = self._sig_id(vict.bit)
+            kind = fault.kind
+            if isinstance(fault, StateCouplingFault):
+                members = [
+                    (
+                        {"aggressor": av, "value": fv},
+                        (kind, (av, fv), order, siga, sigv),
+                    )
+                    for av in (0, 1)
+                    for fv in (0, 1)
+                ]
+            elif isinstance(fault, IdempotentCouplingFault):
+                members = [
+                    (
+                        {"rising": r, "value": fv},
+                        (kind, (r, fv), order, siga, sigv),
+                    )
+                    for r in (True, False)
+                    for fv in (0, 1)
+                ]
+            elif isinstance(fault, InversionCouplingFault):
+                members = [
+                    ({"rising": r}, (kind, (r,), order, siga, sigv))
+                    for r in (True, False)
+                ]
+            else:  # pragma: no cover - no other coupling kinds exist
+                return None
+        else:  # pragma: no cover - filtered by _shape_key
+            return None
+
+        n_params = len(members)
+        lanes = n_params * n_assign
+        # Bit at the start of every parameter block: multiplying a
+        # per-block pattern by it replicates the pattern across blocks.
+        block_starts = sum(1 << (pi * n_assign) for pi in range(n_params))
+        masks: dict[str, int] = {}
+        for pi, (params, _) in enumerate(members):
+            blk = ((1 << n_assign) - 1) << (pi * n_assign)
+            for name, val in params.items():
+                if val:
+                    masks[name] = masks.get(name, 0) | blk
+        init = []
+        for s in range(len(slots)):
+            pattern = 0
+            for ai, assignment in enumerate(assignments):
+                if assignment[s]:
+                    pattern |= 1 << ai
+            init.append(pattern * block_starts)
+
+        det = self._family_replay(fault, slots, init, masks, lanes)
+
+        result = None
+        for pi, (_, fkey) in enumerate(members):
+            base = pi * n_assign
+            table = AssignmentTable(
+                {
+                    assignment: bool((det >> (base + ai)) & 1)
+                    for ai, assignment in enumerate(assignments)
+                }
+            )
+            self._tables[fkey] = table
+            if fkey == key:
+                result = table
+        return result
+
+    def _family_replay(
+        self,
+        fault: Fault,
+        slots: tuple[tuple[int, int], ...],
+        init: list[int],
+        masks: dict[str, int],
+        lanes: int,
+    ) -> int:
+        """Lane-parallel :meth:`_replay`: every slot's state is an
+        integer whose bit ``l`` is that slot's value in lane ``l``, and
+        the fault-model rules are applied through the per-parameter
+        lane masks in *masks*.  Returns the lane vector of detections
+        (bit ``l`` set iff lane ``l``'s run observed a mismatch)."""
+        derive = self.derive
+        full = (1 << lanes) - 1
+        state = list(init)
+
+        is_saf = isinstance(fault, StuckAtFault)
+        is_tf = isinstance(fault, TransitionFault)
+        is_rdf = isinstance(fault, ReadDisturbFault)
+        is_cfst = isinstance(fault, StateCouplingFault)
+        is_cfid = isinstance(fault, IdempotentCouplingFault)
+        is_cfin = isinstance(fault, InversionCouplingFault)
+
+        slot_index = {slot: i for i, slot in enumerate(slots)}
+        fault_slot = aggr_slot = vict_slot = None
+        if is_saf or is_tf or is_rdf:
+            cell = fault.cells[0]
+            fault_slot = slot_index[(cell.addr, cell.bit)]
+        if is_cfst or is_cfid or is_cfin:
+            aggr_slot = slot_index[(fault.aggressor.addr, fault.aggressor.bit)]
+            vict_slot = slot_index[(fault.victim.addr, fault.victim.bit)]
+
+        # Lanes where: the stuck/forced value is 1; the edge parameter
+        # is rising; the read disturb is deceptive; the CFst aggressor
+        # state is 1.
+        val = masks.get("value", 0)
+        rising = masks.get("rising", 0)
+        deceptive = masks.get("deceptive", 0)
+        aggr_one = masks.get("aggressor", 0)
+
+        def enforce() -> None:
+            if is_saf:
+                state[fault_slot] = val
+            if is_cfst:
+                cond = ~(state[aggr_slot] ^ aggr_one) & full
+                state[vict_slot] = (state[vict_slot] & ~cond) | (val & cond)
+
+        enforce()  # the loaded content already expresses the defect
+        snap = tuple(state)
+
+        ascending = sorted({addr for addr, _ in slots})
+        descending = ascending[::-1]
+        by_addr = {
+            addr: tuple(i for i, (a, _) in enumerate(slots) if a == addr)
+            for addr in ascending
+        }
+        plans = [self._bit_plan(pos) for _, pos in slots]
+
+        det = 0
+        last_raw = [0] * len(slots)
+        last_mask = [0] * len(slots)
+        for ei, element in enumerate(self.program.elements):
+            ordered = descending if element.descending else ascending
+            n_steps = len(element.steps)
+            for addr in ordered:
+                here = by_addr[addr]
+                for si in range(n_steps):
+                    is_read, relative, _, _ = element.steps[si]
+                    if is_read:
+                        for i in here:
+                            mvec = -plans[i][ei][si][2] & full
+                            if is_rdf and i == fault_slot:
+                                value = state[i]
+                                state[i] = value ^ full
+                                raw = value ^ (full & ~deceptive)
+                            else:
+                                raw = state[i]
+                            expected = (snap[i] ^ mvec) if relative else mvec
+                            det |= raw ^ expected
+                            last_raw[i] = raw
+                            last_mask[i] = mvec
+                    else:
+                        old = list(state)
+                        for i in here:
+                            mvec = -plans[i][ei][si][2] & full
+                            if relative and derive:
+                                value = last_raw[i] ^ last_mask[i] ^ mvec
+                            elif relative:
+                                value = snap[i] ^ mvec
+                            else:
+                                value = mvec
+                            if is_saf and i == fault_slot:
+                                value = val
+                            elif is_tf and i == fault_slot:
+                                blocked = (
+                                    (rising & ~old[i] & value)
+                                    | (~rising & old[i] & ~value)
+                                ) & full
+                                value = (value & ~blocked) | (
+                                    old[i] & blocked
+                                )
+                            state[i] = value
+                        if (is_cfid or is_cfin) and aggr_slot in here:
+                            a_old = old[aggr_slot]
+                            a_new = state[aggr_slot]
+                            trig = (a_old ^ a_new) & ~(a_new ^ rising) & full
+                            if is_cfid:
+                                state[vict_slot] = (
+                                    state[vict_slot] & ~trig
+                                ) | (val & trig)
+                            else:
+                                state[vict_slot] ^= trig
+                        if is_cfst or is_saf:
+                            enforce()
+        return det
 
     def af_table(self, fault: AddressDecoderFault, position: int) -> AssignmentTable:
         """Assignment table of one AF at one bit position (cached by

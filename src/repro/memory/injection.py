@@ -282,6 +282,282 @@ def enumerate_inter_word_cf(
         yield from _coupling_variants(aggressor, victim, kinds)
 
 
+# ---------------------------------------------------------------------------
+# Streaming fault classes
+# ---------------------------------------------------------------------------
+
+
+class FaultClass(Sequence):
+    """A whole fault class as an index-addressable descriptor.
+
+    Behaves like the materialized fault list it replaces — same length,
+    same ordering, same elements — but holds only the enumeration
+    parameters: ``len`` is O(1), ``cls[i]`` materializes exactly one
+    :class:`Fault`, and iteration yields faults one at a time, so a
+    megaword campaign never holds millions of fault objects at once.
+    Slicing materializes a plain list (slices are only taken for small
+    windows: chunk shards, kept-missed samples, test fixtures).
+
+    The class-level batch kernels dispatch on the concrete subclass and
+    read the enumeration parameters directly; equality and hashing are
+    by those parameters, so rebinding a :class:`CampaignRunner` with an
+    equal descriptor is recognized as the same universe.
+    """
+
+    kind = "?"
+
+    def __init__(self, n_words: int, width: int) -> None:
+        self.n_words = n_words
+        self.width = width
+
+    # subclasses set self._length in __init__ and implement _fault_at
+    def _fault_at(self, index: int) -> Fault:
+        raise NotImplementedError
+
+    def _spec(self) -> tuple:
+        return (type(self).__name__, self.n_words, self.width)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._fault_at(i) for i in range(*index.indices(self._length))]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("fault index out of range")
+        return self._fault_at(index)
+
+    def __iter__(self) -> Iterator[Fault]:
+        for i in range(self._length):
+            yield self._fault_at(i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultClass):
+            return NotImplemented
+        return self._spec() == other._spec()
+
+    def __hash__(self) -> int:
+        return hash(self._spec())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(n_words={self.n_words}, "
+            f"width={self.width}, len={self._length})"
+        )
+
+
+def _second_of_pair(rem: int, first: int) -> int:
+    """Decode the second element of an ``itertools.permutations(..., 2)``
+    block: values in ascending order with *first* skipped."""
+    return rem if rem < first else rem + 1
+
+
+class StuckAtClass(FaultClass):
+    """``enumerate_stuck_at`` order: cell-major, value 0 then 1."""
+
+    kind = "SAF"
+    variants = 2
+
+    def __init__(self, n_words: int, width: int) -> None:
+        super().__init__(n_words, width)
+        self._length = 2 * n_words * width
+
+    def _fault_at(self, index: int) -> StuckAtFault:
+        cell_index, value = divmod(index, 2)
+        addr, bit = divmod(cell_index, self.width)
+        return StuckAtFault(Cell(addr, bit), value)
+
+
+class TransitionClass(FaultClass):
+    """``enumerate_transition`` order: cell-major, rising then falling."""
+
+    kind = "TF"
+    variants = 2
+
+    def __init__(self, n_words: int, width: int) -> None:
+        super().__init__(n_words, width)
+        self._length = 2 * n_words * width
+
+    def _fault_at(self, index: int) -> TransitionFault:
+        cell_index, which = divmod(index, 2)
+        addr, bit = divmod(cell_index, self.width)
+        return TransitionFault(Cell(addr, bit), rising=which == 0)
+
+
+class ReadDisturbClass(FaultClass):
+    """``enumerate_read_disturb`` order for one flavour: cell-major."""
+
+    variants = 1
+
+    def __init__(self, n_words: int, width: int, *, deceptive: bool) -> None:
+        super().__init__(n_words, width)
+        self.deceptive = deceptive
+        self._length = n_words * width
+
+    @property
+    def kind(self) -> str:
+        return "DRDF" if self.deceptive else "RDF"
+
+    def _spec(self) -> tuple:
+        return (type(self).__name__, self.n_words, self.width, self.deceptive)
+
+    def _fault_at(self, index: int) -> ReadDisturbFault:
+        addr, bit = divmod(index, self.width)
+        return ReadDisturbFault(Cell(addr, bit), deceptive=self.deceptive)
+
+
+_CF_VARIANTS = {"CFst": 4, "CFid": 4, "CFin": 2}
+
+
+def _cf_variant(
+    cf_kind: str, aggressor: Cell, victim: Cell, variant: int
+) -> CouplingFault:
+    """Variant *variant* of ``_coupling_variants`` for one cell pair."""
+    if cf_kind == "CFst":
+        y, x = divmod(variant, 2)
+        return StateCouplingFault(aggressor, victim, y, x)
+    if cf_kind == "CFid":
+        half, x = divmod(variant, 2)
+        return IdempotentCouplingFault(aggressor, victim, half == 0, x)
+    return InversionCouplingFault(aggressor, victim, variant == 0)
+
+
+class IntraWordCFClass(FaultClass):
+    """``enumerate_intra_word_cf`` order for one CF kind: address-major,
+    then ordered bit pairs (``permutations(range(width), 2)``), then the
+    kind's parameter variants."""
+
+    def __init__(self, n_words: int, width: int, cf_kind: str) -> None:
+        super().__init__(n_words, width)
+        if cf_kind not in _CF_VARIANTS:
+            raise ValueError(f"unknown coupling kind {cf_kind!r}")
+        self.cf_kind = cf_kind
+        self.variants = _CF_VARIANTS[cf_kind]
+        self.n_pairs = width * (width - 1)
+        self._length = n_words * self.n_pairs * self.variants
+
+    @property
+    def kind(self) -> str:
+        return self.cf_kind
+
+    def _spec(self) -> tuple:
+        return (type(self).__name__, self.n_words, self.width, self.cf_kind)
+
+    def pair_bits(self, pair_index: int) -> tuple[int, int]:
+        a_bit, rem = divmod(pair_index, self.width - 1)
+        return a_bit, _second_of_pair(rem, a_bit)
+
+    def _fault_at(self, index: int) -> CouplingFault:
+        addr, rem = divmod(index, self.n_pairs * self.variants)
+        pair_index, variant = divmod(rem, self.variants)
+        a_bit, v_bit = self.pair_bits(pair_index)
+        return _cf_variant(
+            self.cf_kind, Cell(addr, a_bit), Cell(addr, v_bit), variant
+        )
+
+
+class InterWordCFClass(FaultClass):
+    """``enumerate_inter_word_cf`` order for one CF kind.
+
+    Cell pairs follow ``permutations(range(n_words), 2)`` crossed with
+    bit positions; when the pair count exceeds *max_pairs* the same
+    down-sampling as the eager enumerator is applied, drawing pair
+    *indices* from *rng* at construction time — ``random.Random.sample``
+    selects positions independently of element values, so the selection
+    is bit-identical to sampling the materialized pair list, and the
+    shared campaign RNG is consumed in the same order as before.
+    """
+
+    def __init__(
+        self,
+        n_words: int,
+        width: int,
+        cf_kind: str,
+        *,
+        same_bit_only: bool = True,
+        max_pairs: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(n_words, width)
+        if cf_kind not in _CF_VARIANTS:
+            raise ValueError(f"unknown coupling kind {cf_kind!r}")
+        self.cf_kind = cf_kind
+        self.variants = _CF_VARIANTS[cf_kind]
+        self.same_bit_only = same_bit_only
+        bits = width if same_bit_only else width * width
+        total_pairs = n_words * (n_words - 1) * bits
+        self.pair_indices: tuple[int, ...] | None = None
+        if max_pairs is not None and total_pairs > max_pairs:
+            rng = rng if rng is not None else random.Random(0)
+            self.pair_indices = tuple(rng.sample(range(total_pairs), max_pairs))
+            self.n_pairs = max_pairs
+        else:
+            self.n_pairs = total_pairs
+        self._length = self.n_pairs * self.variants
+
+    @property
+    def kind(self) -> str:
+        return self.cf_kind
+
+    def _spec(self) -> tuple:
+        return (
+            type(self).__name__,
+            self.n_words,
+            self.width,
+            self.cf_kind,
+            self.same_bit_only,
+            self.pair_indices,
+        )
+
+    def pair_cells(self, pair_pos: int) -> tuple[Cell, Cell]:
+        flat = (
+            self.pair_indices[pair_pos]
+            if self.pair_indices is not None
+            else pair_pos
+        )
+        if self.same_bit_only:
+            perm, a_bit = divmod(flat, self.width)
+            v_bit = a_bit
+        else:
+            perm, rem = divmod(flat, self.width * self.width)
+            a_bit, v_bit = divmod(rem, self.width)
+        a_addr, rem = divmod(perm, self.n_words - 1)
+        v_addr = _second_of_pair(rem, a_addr)
+        return Cell(a_addr, a_bit), Cell(v_addr, v_bit)
+
+    def _fault_at(self, index: int) -> CouplingFault:
+        pair_pos, variant = divmod(index, self.variants)
+        aggressor, victim = self.pair_cells(pair_pos)
+        return _cf_variant(self.cf_kind, aggressor, victim, variant)
+
+
+class AddressFaultClass(FaultClass):
+    """``enumerate_address_faults`` order: the ``n`` AF-1 faults, then
+    AF-2/AF-3 for every ordered address pair."""
+
+    kind = "AF"
+
+    def __init__(self, n_words: int, *, wired_or: bool = False) -> None:
+        super().__init__(n_words, 1)
+        self.wired_or = wired_or
+        self._length = n_words + 2 * n_words * (n_words - 1)
+
+    def _spec(self) -> tuple:
+        return (type(self).__name__, self.n_words, self.wired_or)
+
+    def _fault_at(self, index: int) -> AddressDecoderFault:
+        if index < self.n_words:
+            return AddressDecoderFault(index, "none")
+        perm, which = divmod(index - self.n_words, 2)
+        addr, rem = divmod(perm, self.n_words - 1)
+        other = _second_of_pair(rem, addr)
+        if which == 0:
+            return AddressDecoderFault(addr, "other", other)
+        return AddressDecoderFault(addr, "multi", other, wired_or=self.wired_or)
+
+
 def standard_fault_universe(
     n_words: int,
     width: int,
@@ -290,7 +566,8 @@ def standard_fault_universe(
     rng: random.Random | None = None,
     include_rdf: bool = False,
     include_af: bool = False,
-) -> dict[str, list[Fault]]:
+    streaming: bool = True,
+) -> dict[str, Sequence[Fault]]:
     """The Section 2 fault universe grouped by class name.
 
     Keys: ``SAF``, ``TF``, ``CFst-intra``, ``CFid-intra``, ``CFin-intra``,
@@ -299,8 +576,32 @@ def standard_fault_universe(
     ``AF`` (the extension classes of benchmark E8 — off by default so
     the Section 5 equality experiments keep their historical class
     set).
+
+    By default the values are streaming :class:`FaultClass` descriptors
+    (O(1) ``len``, per-index fault materialization) in the exact order
+    of the eager enumerators; ``streaming=False`` restores materialized
+    lists.  Both forms consume *rng* identically — the inter-word CF
+    classes draw their down-sample at construction, in dict order — so
+    a given seed selects the same sampled pairs either way.
     """
-    universe: dict[str, list[Fault]] = {
+    if streaming:
+        universe: dict[str, Sequence[Fault]] = {
+            "SAF": StuckAtClass(n_words, width),
+            "TF": TransitionClass(n_words, width),
+        }
+        for kind in _CF_KINDS:
+            universe[f"{kind}-intra"] = IntraWordCFClass(n_words, width, kind)
+            universe[f"{kind}-inter"] = InterWordCFClass(
+                n_words, width, kind, max_pairs=max_inter_pairs, rng=rng
+            )
+        if include_rdf:
+            universe["RDF"] = ReadDisturbClass(n_words, width, deceptive=False)
+            universe["DRDF"] = ReadDisturbClass(n_words, width, deceptive=True)
+        if include_af:
+            universe["AF"] = AddressFaultClass(n_words)
+        return universe
+
+    universe = {
         "SAF": list(enumerate_stuck_at(n_words, width)),
         "TF": list(enumerate_transition(n_words, width)),
     }

@@ -1,0 +1,424 @@
+"""Packed class-level verdict passes and streaming fault universes.
+
+The megaword contract has three parts, each tested here:
+
+* **streaming universes** — :class:`~repro.memory.injection.FaultClass`
+  descriptors enumerate bit-identically to the legacy eager
+  enumerators (including the rng-sampled inter-word coupling classes),
+  with O(1) ``len`` and index arithmetic instead of materialized
+  ``Fault`` lists;
+* **packed verdict bitsets** —
+  :class:`~repro.engine.PackedVerdicts` /
+  :class:`~repro.engine.PackedPairVerdicts` round-trip the per-fault
+  verdicts exactly (counts, missed indices, chunk concat, pickling);
+* **class kernels** — the batch engine's
+  :meth:`~repro.engine.BatchEngine.detect_class_batch` one-pass
+  kernels are bit-identical to per-fault dispatch and the reference
+  interpreter, at small sizes fully and at megaword sizes on strided
+  samples, across edge widths (1, non-power-of-two, > 64).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.analysis.coverage import compare_flow, run_campaign
+from repro.cli import main
+from repro.core.twm import twm_transform
+from repro.engine import (
+    PackedPairVerdicts,
+    PackedVerdicts,
+    compile_march,
+    get_engine,
+)
+from repro.engine import batch as batch_module
+from repro.engine.program import compile_symbolic, pack_words
+from repro.engine.symbolic import _SymbolicCampaign
+from repro.library import catalog
+from repro.memory.injection import (
+    AddressFaultClass,
+    FaultClass,
+    InterWordCFClass,
+    IntraWordCFClass,
+    ReadDisturbClass,
+    StuckAtClass,
+    TransitionClass,
+    enumerate_address_faults,
+    enumerate_intra_word_cf,
+    enumerate_inter_word_cf,
+    enumerate_read_disturb,
+    enumerate_stuck_at,
+    enumerate_transition,
+    standard_fault_universe,
+)
+
+
+def _words(n_words, width, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(1 << width) for _ in range(n_words)]
+
+
+class TestStreamingUniverseOrdering:
+    """FaultClass descriptors reproduce the eager enumerator orders."""
+
+    def test_single_cell_classes_match_enumerators(self):
+        for n, w in [(3, 4), (2, 1), (5, 3), (1, 8)]:
+            assert list(StuckAtClass(n, w)) == list(enumerate_stuck_at(n, w))
+            assert list(TransitionClass(n, w)) == list(
+                enumerate_transition(n, w)
+            )
+            for deceptive in (False, True):
+                assert list(
+                    ReadDisturbClass(n, w, deceptive=deceptive)
+                ) == list(
+                    enumerate_read_disturb(n, w, deceptive=deceptive)
+                ), (n, w, deceptive)
+            assert list(AddressFaultClass(n)) == list(
+                enumerate_address_faults(n)
+            )
+
+    def test_intra_cf_classes_match_enumerators(self):
+        for n, w in [(3, 4), (2, 2), (4, 3)]:
+            for kind in ("CFst", "CFid", "CFin"):
+                assert list(IntraWordCFClass(n, w, kind)) == list(
+                    enumerate_intra_word_cf(n, w, kind)
+                ), (n, w, kind)
+
+    def test_inter_cf_sampling_matches_legacy(self):
+        # The shared campaign rng must be consumed identically, so the
+        # sampled pair sets agree fault for fault across all kinds.
+        for seed in (0, 7, 11):
+            for cap in (4, 16, None):
+                for kind in ("CFst", "CFid", "CFin"):
+                    legacy = list(
+                        enumerate_inter_word_cf(
+                            4,
+                            3,
+                            kind,
+                            max_pairs=cap,
+                            rng=random.Random(seed),
+                            same_bit_only=(kind == "CFin"),
+                        )
+                    )
+                    streaming = InterWordCFClass(
+                        4,
+                        3,
+                        kind,
+                        max_pairs=cap,
+                        rng=random.Random(seed),
+                        same_bit_only=(kind == "CFin"),
+                    )
+                    assert list(streaming) == legacy, (seed, cap, kind)
+
+    def test_standard_universe_streaming_equals_legacy(self):
+        for seed in (1, 9):
+            streaming = standard_fault_universe(
+                4,
+                4,
+                max_inter_pairs=10,
+                rng=random.Random(seed),
+                include_rdf=True,
+                include_af=True,
+            )
+            legacy = standard_fault_universe(
+                4,
+                4,
+                max_inter_pairs=10,
+                rng=random.Random(seed),
+                include_rdf=True,
+                include_af=True,
+                streaming=False,
+            )
+            assert list(streaming) == list(legacy)  # key order
+            for name in streaming:
+                assert isinstance(streaming[name], FaultClass), name
+                assert list(streaming[name]) == list(legacy[name]), name
+
+    def test_sequence_protocol(self):
+        fc = StuckAtClass(5, 3)
+        assert len(fc) == 2 * 5 * 3
+        assert fc[0] == next(iter(enumerate_stuck_at(5, 3)))
+        assert fc[-1] == list(enumerate_stuck_at(5, 3))[-1]
+        assert fc[3:7] == list(enumerate_stuck_at(5, 3))[3:7]
+        assert isinstance(fc[3:7], list)
+        with pytest.raises(IndexError):
+            fc[len(fc)]
+
+    def test_megaword_len_is_lazy(self):
+        # Descriptor construction and len never enumerate: instant even
+        # at 2^20 words (16.7M stuck-at faults).
+        fc = StuckAtClass(1 << 20, 8)
+        assert len(fc) == 2 * (1 << 20) * 8
+        assert fc[len(fc) - 1].cell.addr == (1 << 20) - 1
+
+    def test_spec_equality_and_pickling(self):
+        a = TransitionClass(4, 4)
+        b = TransitionClass(4, 4)
+        c = TransitionClass(5, 4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "TF"
+        restored = pickle.loads(pickle.dumps(a))
+        assert restored == a and list(restored) == list(a)
+
+
+class TestPackedVerdictContainers:
+    def test_from_bools_round_trip(self):
+        bools = [True, False, False, True, True]
+        packed = PackedVerdicts.from_bools(bools)
+        assert list(packed) == bools
+        assert packed.tolist() == bools
+        assert packed.count() == 3
+        assert packed == bools
+        assert len(packed) == 5
+
+    def test_from_bools_rejects_non_bool(self):
+        with pytest.raises(TypeError, match="expected a bool verdict"):
+            PackedVerdicts.from_bools([True, (True, False)])
+
+    def test_strided_layout(self):
+        # stride=2: fault i = bit i//2 of vectors[i % 2].
+        packed = PackedVerdicts(6, (0b101, 0b010), stride=2)
+        assert list(packed) == [True, False, False, True, True, False]
+        assert packed.count() == 3
+        assert packed.missed_indices(10) == [1, 2, 5]
+        assert packed.missed_indices(2) == [1, 2]
+
+    def test_slot_stride_layout(self):
+        # slot_stride=3: verdicts live at every third bit.
+        packed = PackedVerdicts(3, (0b001000001,), stride=1, slot_stride=3)
+        assert list(packed) == [True, False, True]
+        assert packed.missed_indices(5) == [1]
+
+    def test_concat_and_pickle(self):
+        parts = [
+            PackedVerdicts.from_bools([True, False]),
+            PackedVerdicts.from_bools([False]),
+            PackedVerdicts.from_bools([True, True]),
+        ]
+        merged = PackedVerdicts.concat(parts)
+        assert list(merged) == [True, False, False, True, True]
+        restored = pickle.loads(pickle.dumps(merged))
+        assert list(restored) == list(merged)
+
+    def test_pair_verdicts(self):
+        pairs = [(True, True), (True, False), (False, False)]
+        packed = PackedPairVerdicts.from_pairs(pairs)
+        assert packed.tolist() == pairs
+        assert packed.count() == 1  # signature detections
+        assert packed.stream_count() == 2
+        assert packed.aliased_count() == 1  # stream hit, signature miss
+        assert packed.missed_indices(5) == [1, 2]
+        restored = pickle.loads(pickle.dumps(packed))
+        assert restored.tolist() == pairs
+
+    def test_pair_verdicts_reject_malformed(self):
+        with pytest.raises(TypeError):
+            PackedPairVerdicts.from_pairs([(True, False), True])
+
+    def test_pack_words_matches_naive(self):
+        for n, w in [(0, 4), (1, 7), (13, 3), (100, 8)]:
+            words = [random.Random(n).randrange(1 << w) for _ in range(n)]
+            naive = 0
+            for i, word in enumerate(words):
+                naive |= word << (i * w)
+            assert pack_words(words, w) == naive, (n, w)
+
+
+def _context(test, n_words, width, seed):
+    program = compile_march(test, width)
+    return batch_module._CampaignContext(
+        program, n_words, _words(n_words, width, seed), True
+    )
+
+
+def _classes(n_words, width):
+    out = {
+        "SAF": StuckAtClass(n_words, width),
+        "TF": TransitionClass(n_words, width),
+        "RDF": ReadDisturbClass(n_words, width, deceptive=False),
+        "DRDF": ReadDisturbClass(n_words, width, deceptive=True),
+    }
+    if width > 1:
+        for kind in ("CFst", "CFid", "CFin"):
+            out[kind] = IntraWordCFClass(n_words, width, kind)
+    return out
+
+
+class TestClassKernelEquivalence:
+    """Packed class passes == per-fault dispatch == reference."""
+
+    def test_full_equality_small(self):
+        for name in ("March C-", "MATS+"):
+            twm = twm_transform(catalog.get(name), 4).twmarch
+            ctx = _context(twm, 1 << 10, 4, seed=5)
+            for cname, fc in _classes(1 << 10, 4).items():
+                if cname not in ("SAF", "TF", "RDF", "DRDF"):
+                    continue  # intra kernels covered at smaller n below
+                packed = ctx.detect_class(fc)
+                assert len(packed) == len(fc)
+                per_fault = [ctx.detect(f) for f in fc]
+                assert packed == per_fault, (name, cname)
+
+    def test_intra_cf_kernels_small(self):
+        twm = twm_transform(catalog.get("March C-"), 4).twmarch
+        ctx = _context(twm, 16, 4, seed=3)
+        for cname, fc in _classes(16, 4).items():
+            packed = ctx.detect_class(fc)
+            assert packed == [ctx.detect(f) for f in fc], cname
+
+    def test_edge_widths(self):
+        # Width 1 (no intra classes), non-power-of-two 3 and 5 (raw
+        # march: TWM needs power-of-two widths), and > 64 (beyond any
+        # machine-word assumption).
+        base = catalog.get("March C-")
+        for n, w in [(8, 1), (6, 3), (5, 5), (2, 65)]:
+            test = twm_transform(base, w).twmarch if w & (w - 1) == 0 else base
+            ctx = _context(test, n, w, seed=n * w)
+            for cname, fc in _classes(n, w).items():
+                packed = ctx.detect_class(fc)
+                assert packed == [ctx.detect(f) for f in fc], (n, w, cname)
+
+    def test_megaword_sampled(self):
+        # 2^16 and 2^20 words: packed bitset vs strided per-fault
+        # samples (full per-fault dispatch would take minutes).
+        twm = twm_transform(catalog.get("March C-"), 8).twmarch
+        for n in (1 << 16, 1 << 20):
+            ctx = _context(twm, n, 8, seed=1)
+            for cname, fc in _classes(n, 8).items():
+                if cname not in ("SAF", "TF", "RDF", "DRDF"):
+                    continue
+                packed = ctx.detect_class(fc)
+                assert len(packed) == len(fc)
+                stride = max(1, len(fc) // 48)
+                for i in range(0, len(fc), stride):
+                    assert packed[i] == ctx.detect(fc[i]), (n, cname, i)
+
+    def test_matches_reference_engine(self):
+        twm = twm_transform(catalog.get("March U"), 4).twmarch
+        n, w, seed = 5, 4, 13
+        words = _words(n, w, seed)
+        batch = get_engine("batch")
+        reference = get_engine("reference")
+        for cname, fc in _classes(n, w).items():
+            packed = batch.detect_class_batch(twm, n, w, words, fc)
+            assert isinstance(packed, PackedVerdicts)
+            ref = reference.detect_batch(twm, n, w, words, list(fc))
+            assert packed == ref, cname
+
+    def test_ill_formed_baseline_falls_back(self):
+        # An ill-formed march (reads before initializing) mismatches
+        # fault free on random content, so the strided kernels must not
+        # apply; the streaming per-fault path still answers exactly.
+        from repro.core.notation import parse_march
+
+        raw = parse_march("⇕(r0);⇑(w1,r1)", name="ill-formed")
+        ctx = _context(raw, 6, 4, seed=2)
+        assert ctx._baseline_plane() != 0
+        for cname, fc in _classes(6, 4).items():
+            packed = ctx.detect_class(fc)
+            assert packed == [ctx.detect(f) for f in fc], cname
+
+    def test_geometry_mismatch_streams(self):
+        # A class narrower than the campaign streams per fault (except
+        # SAF, whose kernel replicates at the class lane width).
+        twm = twm_transform(catalog.get("March C-"), 8).twmarch
+        ctx = _context(twm, 6, 8, seed=4)
+        for fc in (TransitionClass(6, 4), StuckAtClass(6, 4)):
+            packed = ctx.detect_class(fc)
+            assert packed == [ctx.detect(f) for f in fc]
+
+    def test_campaign_jobs_deterministic_streaming(self):
+        twm = twm_transform(catalog.get("March C-"), 4)
+        universe = standard_fault_universe(
+            4, 4, max_inter_pairs=8, rng=random.Random(3)
+        )
+        flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=3)
+        seq = run_campaign(flow, universe, engine="batch", jobs=1)
+        par = run_campaign(flow, universe, engine="batch", jobs=2)
+        assert seq.coverage_vector() == par.coverage_vector()
+        assert seq.undetected == par.undetected
+
+
+class TestSymbolicFamilyTables:
+    def test_family_tables_match_scalar_replay(self):
+        base = catalog.get("March C-")
+        for w in (2, 4):
+            test = twm_transform(base, w).twmarch
+            program = compile_symbolic(test)
+            packed = _SymbolicCampaign(program, True)
+            scalar = _SymbolicCampaign(program, True)
+            universe = standard_fault_universe(
+                3,
+                w,
+                max_inter_pairs=6,
+                rng=random.Random(2),
+                include_rdf=True,
+            )
+            for cname, faults in universe.items():
+                for fault in faults:
+                    assert (
+                        packed.verdict(fault).table
+                        == scalar._cell_table(fault)
+                    ), (w, cname, fault)
+
+    def test_family_fills_siblings(self):
+        test = twm_transform(catalog.get("March C-"), 4).twmarch
+        campaign = _SymbolicCampaign(compile_symbolic(test), True)
+        fault = StuckAtClass(2, 4)[0]
+        campaign.verdict(fault)
+        # One packed replay priced both stuck values of the shape.
+        sig = campaign._sig_id(fault.cell.bit)
+        assert ("SAF", 0, sig) in campaign._tables
+        assert ("SAF", 1, sig) in campaign._tables
+
+
+class TestCliValidation:
+    def test_rejects_non_positive_geometry(self, capsys):
+        for argv in (
+            ["coverage", "March C-", "--words", "0"],
+            ["coverage", "March C-", "--width", "-3"],
+            ["coverage", "March C-", "--jobs", "0"],
+            ["coverage", "March C-", "--max-inter-pairs", "0"],
+            ["transform", "March C-", "--width", "0"],
+            ["table2", "--words", "-1"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            assert "positive integer" in capsys.readouterr().err
+
+    def test_rejects_non_integer(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["coverage", "March C-", "--words", "many"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_classes_filter(self, capsys):
+        assert (
+            main(
+                [
+                    "coverage",
+                    "March C-",
+                    "--width",
+                    "4",
+                    "--words",
+                    "4",
+                    "--classes",
+                    "SAF,TF",
+                    "--no-extension-classes",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SAF" in out and "TF" in out
+        assert "CFst-intra" not in out
+
+    def test_classes_filter_unknown(self, capsys):
+        assert (
+            main(["coverage", "March C-", "--classes", "SAF,NOPE"]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "NOPE" in err and "SAF" in err
