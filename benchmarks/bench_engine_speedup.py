@@ -20,6 +20,12 @@ the Section 2 universe plus the RDF/DRDF/AF extension classes):
   session context, so the aliasing campaign reports (near-)zero
   context builds — at most one per worker the pool scheduler never
   handed a signature chunk, and exactly zero in-process.
+* **chaos** — the scaled compare campaign at ``jobs`` under an
+  injected worker crash, a raising chunk and a corrupt chunk
+  (``repro.engine.chaos.FaultPlan``): the supervised runner must
+  retry/respawn its way to a report **bit-identical** to the
+  undisturbed single-process run, and the leg records the full
+  fault-tolerance accounting (retries, respawns, lost wall-clock).
 * **megaword** — the packed class-kernel headline at ``>= 2^20``
   words: each single-cell class (SAF/TF/RDF/DRDF, millions of faults)
   is answered by one :meth:`detect_class` bitset pass over the
@@ -69,8 +75,14 @@ from repro.analysis.coverage import (
     run_campaign,
     signature_flow,
 )
+from repro.analysis.reports import counter_rows, render_table
 from repro.core.twm import twm_transform
-from repro.engine import CampaignRunner, compile_march
+from repro.engine import (
+    CampaignRunner,
+    FaultPlan,
+    RetryPolicy,
+    compile_march,
+)
 from repro.engine import batch as batch_module
 from repro.library import catalog
 from repro.memory.injection import (
@@ -425,6 +437,57 @@ def main(argv=None) -> int:
     mixed_ok = aliasing_builds <= args.jobs
     payload["workloads"]["mixed"] = mixed
 
+    # -- chaos workload: supervised recovery under injected faults ------
+    # Same scaled compare campaign, but the first SAF chunk kills its
+    # worker, the first TF chunk raises, and the first RDF chunk returns
+    # a truncated verdict vector.  No hang event: the deadline path is
+    # covered by the test suite and a 600s sleep has no place in a
+    # bench.  base_delay=0 keeps retries instant — the leg times the
+    # supervision machinery (detection, respawn, re-dispatch, merge),
+    # not the backoff schedule.
+    chaos_plan = FaultPlan.parse("crash:SAF:0,error:TF:0,corrupt:RDF:0")
+    chaos_retry = RetryPolicy(max_attempts=3, base_delay=0.0)
+    clean_seconds, clean_report = measure(
+        flows["compare"], universe, "batch", 1, args.repeats
+    )
+    with CampaignRunner(
+        "batch", args.jobs, retry=chaos_retry, chaos=chaos_plan
+    ) as supervised:
+        supervised.bind(flows["compare"].work_unit(), universe)
+        started = time.perf_counter()
+        chaos_report = run_campaign(
+            flows["compare"], universe, runner=supervised
+        )
+        chaos_seconds = time.perf_counter() - started
+    ft = chaos_report.fault_tolerance
+    recovered = (
+        clean_report.coverage_vector() == chaos_report.coverage_vector()
+        and clean_report.undetected == chaos_report.undetected
+        and ft is not None
+        and ft.crashes >= 1
+        and ft.chunk_errors >= 1
+        and ft.corrupt_chunks >= 1
+        and ft.degraded_chunks == 0
+    )
+    ok &= recovered
+    payload["workloads"]["chaos"] = {
+        "n_words": args.scaled_words,
+        "n_faults": n_faults,
+        "plan": "crash:SAF:0,error:TF:0,corrupt:RDF:0",
+        "clean_batch_seconds": round(clean_seconds, 6),
+        "chaos_jobs_seconds": round(chaos_seconds, 6),
+        "fault_tolerance": ft.as_dict() if ft is not None else None,
+        "recovered_bit_identical": recovered,
+    }
+    if ft is not None and ft.any:
+        print(
+            render_table(
+                ["fault-tolerance counter", "value"],
+                counter_rows(ft.as_dict()),
+                title="chaos leg: supervised recovery accounting",
+            )
+        )
+
     # -- megaword workload: packed class kernels at >= 2^20 words -------
     mega_ok = True
     if not args.skip_megaword:
@@ -522,6 +585,10 @@ def main(argv=None) -> int:
         # the signature campaign built (allowing one cold build per
         # worker the pool scheduler never handed a signature chunk).
         "mixed_aliasing_reused_contexts": mixed_ok,
+        # The chaos leg's supervised runner recovered every injected
+        # fault (crash, raising chunk, corrupt chunk) into a report
+        # bit-identical to the undisturbed single-process run.
+        "chaos_recovered": recovered,
         "single_core_note": (
             "jobs legs cannot exceed 1x on a single-CPU host"
             if (os.cpu_count() or 1) < 2

@@ -23,7 +23,22 @@ the committed baseline and fails when:
   spot-checks disagree — the packed class kernels must both beat and
   bit-match per-fault dispatch at ``>= 2^20`` words.  Skipped with a
   note when the *baseline* has no megaword leg yet (first landing) or
-  the fresh run used ``--skip-megaword``.
+  the fresh run used ``--skip-megaword``;
+* the chaos workload — the scaled compare campaign under an injected
+  worker crash, raising chunk and corrupt chunk — did not recover to a
+  report bit-identical to the undisturbed single-process run
+  (``checks.chaos_recovered`` / ``recovered_bit_identical`` false), or
+  recovery silently degraded chunks to in-process execution instead of
+  re-dispatching them.  Skipped with a note when the fresh run carries
+  no chaos leg (pre-supervision bench).
+
+The lease supervision on the *clean* path costs bounded bookkeeping
+per chunk (lease construction, deadline checks, ``connection.wait``
+polling) measured at well under 5% of campaign wall-clock; that is
+absorbed by the existing relative gates (the 0.7x
+batch-vs-reference fraction and the 1.2x jobs floor leave far more
+headroom than supervision consumes), so no gate above was loosened
+for it and no separate overhead gate is needed.
 
 Usage::
 
@@ -162,6 +177,34 @@ def check(
                 "megaword: reference interpreter spot-checks disagree "
                 "with the packed verdicts"
             )
+
+    # -- chaos: supervised recovery must stay bit-identical -------------
+    # Correctness-only: recovery wall-clock is dominated by the injected
+    # faults themselves, so no timing floor is gated here.
+    if (chaos := fresh.get("workloads", {}).get("chaos")) is None:
+        notes.append(
+            "fresh run carries no chaos workload: supervised-recovery "
+            "assertions not gated (pre-supervision bench?)"
+        )
+    else:
+        if not chaos.get("recovered_bit_identical", False):
+            failures.append(
+                "chaos: supervised campaign under injected faults is not "
+                "bit-identical to the undisturbed single-process run "
+                "(recovered_bit_identical is false)"
+            )
+        if fresh.get("checks", {}).get("chaos_recovered") is False:
+            failures.append(
+                "chaos: checks.chaos_recovered is false — the runner "
+                "degraded or mis-merged instead of recovering"
+            )
+        ft = chaos.get("fault_tolerance") or {}
+        if ft.get("degraded_chunks", 0):
+            failures.append(
+                "chaos: recovery degraded "
+                f"{ft['degraded_chunks']} chunk(s) to in-process "
+                "execution — retries should have re-dispatched them"
+            )
     return failures, notes
 
 
@@ -226,6 +269,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"  min_speedup_packed_vs_perfault megaword ({label}): "
                 f"{mega.get('min_speedup_packed_vs_perfault')}x"
             )
+    if (chaos := fresh.get("workloads", {}).get("chaos")) is not None:
+        ft = chaos.get("fault_tolerance") or {}
+        print(
+            "  chaos recovery (fresh): "
+            f"bit_identical={chaos.get('recovered_bit_identical')} "
+            f"retries={ft.get('retries', 0)} "
+            f"respawns={ft.get('respawns', 0)} "
+            f"degraded={ft.get('degraded_chunks', 0)}"
+        )
     for note in notes:
         print(f"note: {note}")
 

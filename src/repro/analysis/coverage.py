@@ -46,8 +46,11 @@ from ..engine import (
     CompareWork,
     ContextStats,
     Engine,
+    FaultPlan,
+    FaultToleranceStats,
     PackedPairVerdicts,
     PackedVerdicts,
+    RetryPolicy,
     SignatureWork,
     get_engine,
 )
@@ -129,6 +132,10 @@ class CampaignReport:
     # how many contexts were built, how long the builds took, and how
     # many chunk/class evaluations hit a warm context instead.
     context_stats: ContextStats | None = None
+    # What the supervised runner had to do to keep the campaign alive
+    # (retries, respawns, degraded chunks, wall-clock lost) — all zero
+    # on an undisturbed run, None for bare callable flows.
+    fault_tolerance: FaultToleranceStats | None = None
 
     @property
     def total(self) -> int:
@@ -192,6 +199,8 @@ class CampaignReport:
             )
         if self.context_stats is not None:
             lines.append(f"  contexts: {self.context_stats.render()}")
+        if self.fault_tolerance is not None and self.fault_tolerance.any:
+            lines.append(f"  faults: {self.fault_tolerance.render()}")
         return "\n".join(lines)
 
 
@@ -241,6 +250,9 @@ def run_campaign(
     engine: str | Engine | None = None,
     jobs: int = 1,
     runner: CampaignRunner | None = None,
+    retry: RetryPolicy | None = None,
+    chaos: FaultPlan | None = None,
+    degrade: bool = True,
     progress: ProgressCallback | None = None,
 ) -> CampaignReport:
     """Simulate every fault in *universe* through *flow*.
@@ -266,6 +278,16 @@ def run_campaign(
     one per oracle mode over the same session — with persistent worker
     processes; a caller-supplied runner is left open (close it
     yourself) and its engine is used when ``engine`` is not given.
+
+    Sharded execution is fault tolerant: chunks are supervised leases,
+    retried per *retry* (a :class:`~repro.engine.RetryPolicy`) when a
+    worker crashes, hangs or corrupts a result, and — unless
+    ``degrade=False`` — run in-process once retries exhaust, so one
+    bad worker degrades throughput, never the report.  *chaos* injects
+    deterministic worker faults (tests/benches).  These three apply
+    when the campaign owns its runner; a shared *runner* carries its
+    own policy.  Whatever supervision did lands in
+    :attr:`CampaignReport.fault_tolerance`.
 
     An :class:`AliasingFlow` yields a *pair-verdict* campaign:
     ``detected`` counts the realistic signature oracle, and every
@@ -295,7 +317,9 @@ def run_campaign(
     if work is None:
         runner = None  # per-fault flows bypass the engine machinery
     elif runner is None:
-        runner = CampaignRunner(eng, jobs)
+        runner = CampaignRunner(
+            eng, jobs, retry=retry, chaos=chaos, degrade=degrade
+        )
         owns_runner = True
     report = CampaignReport(
         flow_name,
@@ -384,10 +408,11 @@ def run_campaign(
                 progress(coverage, stats)
     finally:
         if runner is not None:
-            # Per-campaign delta, drained even when the campaign
+            # Per-campaign deltas, drained even when the campaign
             # raises — a shared runner must not leak this campaign's
             # counters into the next campaign's attribution.
             report.context_stats = runner.take_stats()
+            report.fault_tolerance = runner.take_fault_stats()
             if owns_runner:
                 runner.close()
     return report

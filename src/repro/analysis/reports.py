@@ -40,3 +40,22 @@ def render_table(
 
 def percent(value: float, digits: int = 1) -> str:
     return f"{value * 100:.{digits}f}%"
+
+
+def counter_rows(
+    counters: dict, *, skip_zero: bool = True
+) -> list[tuple[str, object]]:
+    """Counter mapping → ``(name, value)`` table rows.
+
+    Used with :func:`render_table` to print accounting summaries (e.g.
+    the fault-tolerance counters of a chaos benchmark leg); zero-valued
+    counters are skipped by default so the table shows only what
+    actually happened, and float values are rounded for display."""
+    rows = []
+    for name, value in counters.items():
+        if skip_zero and not value:
+            continue
+        if isinstance(value, float):
+            value = round(value, 3)
+        rows.append((name, value))
+    return rows

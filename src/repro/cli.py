@@ -28,7 +28,14 @@ Commands
     with the cache's built/hit/miss counters and build seconds.
     ``--engine symbolic`` evaluates compare-mode campaigns through the
     width-generic symbolic backend (signature/aliasing modes are
-    width-concrete and rejected with a clear error).
+    width-concrete and rejected with a clear error).  Sharded runs are
+    supervised: ``--chunk-timeout`` bounds each chunk attempt,
+    ``--max-retries`` bounds re-dispatch after worker crashes/hangs,
+    ``--no-degrade`` turns exhausted retries into an error instead of
+    in-process execution, and ``--chaos`` injects deterministic worker
+    faults (e.g. ``crash:SAF:0`` or ``seeded:7:0.3``) for smoke
+    testing the recovery paths; whatever supervision did is printed as
+    a ``faults:`` line.
 ``table2 [NAME] [--widths 4,8,16,32] [--words N] [--engines reference,batch]``
     Regenerate the paper's Table 2 rows with the symbolic engine — one
     width-generic evaluation per fault shape — and diff every verdict
@@ -57,7 +64,13 @@ from .core.complexity import table3_rows
 from .core.notation import NotationError, format_march, parse_march
 from .core.twm import twm_transform
 from .core.validate import validate_solid, validate_transparent
-from .engine import CampaignRunner, ExecutionError, engine_names
+from .engine import (
+    CampaignRunner,
+    ExecutionError,
+    FaultPlan,
+    RetryPolicy,
+    engine_names,
+)
 from .library import catalog
 from .memory.injection import standard_fault_universe
 
@@ -178,6 +191,13 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                 f"{', '.join(universe)}; got {args.classes!r}"
             )
         universe = {name: universe[name] for name in wanted}
+    if args.materialize_classes:
+        # Concrete fault lists shard across workers; the streaming
+        # descriptors they replace always run inline through the class
+        # kernels.  This is the switch that routes the standard
+        # universe through the supervised multi-process fabric — the
+        # chaos/CI smoke path (and a worker-scaling comparison point).
+        universe = {name: list(faults) for name, faults in universe.items()}
     flows = {}
     for mode in modes:
         if mode == "signature":
@@ -209,11 +229,21 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
             flows[mode] = flow
+    retry = RetryPolicy(
+        max_attempts=args.max_retries + 1, timeout=args.chunk_timeout
+    )
+    chaos = FaultPlan.parse(args.chaos) if args.chaos else None
     # One persistent runner serves every requested mode: worker
     # processes and their campaign-context caches survive across the
     # whole run, so a mixed-mode sweep builds each context once
     # (signature and aliasing even share one session context).
-    with CampaignRunner(args.engine, args.jobs) as runner:
+    with CampaignRunner(
+        args.engine,
+        args.jobs,
+        retry=retry,
+        chaos=chaos,
+        degrade=not args.no_degrade,
+    ) as runner:
         runner.bind([flow.work_unit() for flow in flows.values()], universe)
         total_stats = None
         for mode, flow in flows.items():
@@ -307,6 +337,36 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for counts that may be zero (retry budgets)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Argparse type for durations in seconds (0 = expire instantly)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative duration, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -381,6 +441,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of universe class names to "
         "simulate (e.g. 'SAF,TF'); the megaword CI smoke leg uses "
         "this to bound runtime at 2^20 words",
+    )
+    coverage.add_argument(
+        "--materialize-classes",
+        action="store_true",
+        help="evaluate the universe as concrete fault lists instead "
+        "of streaming class descriptors; lists shard across --jobs "
+        "workers (descriptors always run inline through the class "
+        "kernels), so this is the path that exercises the supervised "
+        "multi-process fabric — and what --chaos disturbs",
+    )
+    coverage.add_argument(
+        "--chunk-timeout",
+        type=_nonnegative_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for a sharded chunk; a worker that "
+        "holds a chunk past it is terminated, respawned and the chunk "
+        "retried (default: no deadline)",
+    )
+    coverage.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help="re-dispatches a chunk gets after a worker crash, hang "
+        "or corrupt result before it degrades to in-process execution "
+        "(0 = first failure degrades immediately)",
+    )
+    coverage.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail the campaign when a chunk exhausts its retries "
+        "instead of running it in-process",
+    )
+    coverage.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="inject deterministic worker faults into the sharded "
+        "fabric: 'kind:class:chunk[:attempt|*]' events (kinds: crash, "
+        "hang, corrupt, error) separated by commas, or "
+        "'seeded:SEED:RATE[:kind|kind]'; recovery statistics appear "
+        "on the faults: line",
     )
 
     table2 = sub.add_parser(

@@ -15,9 +15,12 @@ Layers (see ``README.md`` in this directory):
   (bit-plane passes for single-cell faults, subset simulation for
   coupling and address-decoder faults, linear-MISR signature and
   pair-verdict aliasing batching, reference fallback otherwise);
-* :mod:`repro.engine.parallel` — process-sharded campaign execution
-  (:class:`CampaignRunner`), merging per-chunk verdicts back into the
-  deterministic sequential order.
+* :mod:`repro.engine.parallel` — supervised, lease-based campaign
+  sharding (:class:`CampaignRunner`): chunks dispatched as retryable
+  leases onto respawnable workers, merged back into the deterministic
+  sequential order (with :mod:`repro.engine.retry` bounding recovery
+  and :mod:`repro.engine.chaos` injecting deterministic worker faults
+  for tests and benches).
 
 Select a backend by name wherever an ``engine=`` parameter is accepted
 (``run_campaign``, ``TransparentBist``, the ``coverage`` CLI command)::
@@ -40,15 +43,19 @@ from .base import (
     register_engine,
 )
 from .batch import BatchEngine
+from .chaos import ChaosEvent, FaultPlan
 from .context import CampaignContext, ContextCache, ContextStats
 from .parallel import (
     AliasingWork,
     CampaignRunner,
+    ChunkExhaustedError,
+    ChunkLease,
     CompareWork,
     SignatureWork,
     shard_bounds,
     work_key,
 )
+from .retry import FaultToleranceStats, RetryPolicy
 from .program import (
     MarchProgram,
     ProgramElement,
@@ -77,12 +84,17 @@ __all__ = [
     "CampaignContext",
     "CampaignRunner",
     "CellSymbolicVerdict",
+    "ChaosEvent",
+    "ChunkExhaustedError",
+    "ChunkLease",
     "CompareWork",
     "ContextCache",
     "ContextStats",
     "DEFAULT_ENGINE",
     "Engine",
     "ExecutionError",
+    "FaultPlan",
+    "FaultToleranceStats",
     "MarchProgram",
     "PackedPairVerdicts",
     "PackedVerdicts",
@@ -91,6 +103,7 @@ __all__ = [
     "ReadRecord",
     "ReadSink",
     "ReferenceEngine",
+    "RetryPolicy",
     "RunResult",
     "SignatureWork",
     "SymbolicElement",

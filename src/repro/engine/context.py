@@ -32,6 +32,16 @@ The cache itself is process-local.  :mod:`repro.engine.parallel` keeps
 one per engine in every worker process for the worker's lifetime, so a
 context is built at most once per distinct key per worker and then
 replayed across all chunks, fault classes and modes that share it.
+
+Fault tolerance composes with the amortization: each chunk result
+ships its worker cache's counter delta (``ContextStats.as_dict`` over
+the pipe, merged in the parent), so the accounting survives retries
+and respawns — a respawned worker simply rebuilds its contexts (new
+``builds``), a retried chunk re-reports only the delta its attempt
+actually caused, and a chunk degraded to in-process execution counts
+against the runner's own inline cache.  The supervision counters
+travel the same way (:class:`repro.engine.retry.FaultToleranceStats`,
+``CampaignReport.fault_tolerance``).
 """
 
 from __future__ import annotations

@@ -145,6 +145,76 @@ class TestCoverage:
         ) == 2
         assert "width-concrete" in capsys.readouterr().err
 
+    def test_chaos_campaign_recovers_and_reports_faults(self, capsys):
+        # A crashed worker on the first SAF chunk is retried onto a
+        # respawned worker; coverage is unchanged and the supervision
+        # is surfaced on the faults: line.
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "8",
+                "--words", "16",
+                "--max-inter-pairs", "4",
+                "--classes", "SAF,TF",
+                "--jobs", "2",
+                "--materialize-classes",
+                "--chaos", "crash:SAF:0",
+                "--max-retries", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: " in out
+        assert "1 crashes" in out
+        assert "1 chaos" in out
+
+    def test_clean_run_prints_no_faults_line(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "8",
+                "--words", "16",
+                "--max-inter-pairs", "4",
+                "--classes", "SAF",
+                "--jobs", "2",
+                "--materialize-classes",
+            ]
+        ) == 0
+        assert "faults: " not in capsys.readouterr().out
+
+    def test_no_degrade_fails_on_poisoned_chunk(self, capsys):
+        # attempt=* poisons the chunk on every dispatch; --no-degrade
+        # turns the exhausted retries into a clean exit-2 error.
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "8",
+                "--words", "16",
+                "--max-inter-pairs", "4",
+                "--classes", "SAF",
+                "--jobs", "2",
+                "--materialize-classes",
+                "--chaos", "error:SAF:0:*",
+                "--max-retries", "1",
+                "--no-degrade",
+            ]
+        ) == 2
+        assert "degradation disabled" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_is_rejected(self, capsys):
+        assert main(
+            [
+                "coverage",
+                "March C-",
+                "--width", "4",
+                "--words", "3",
+                "--chaos", "explode:SAF:0",
+            ]
+        ) == 2
+        assert "chaos" in capsys.readouterr().err
+
 
 class TestTable2:
     def test_cross_check_passes(self, capsys):

@@ -663,7 +663,14 @@ class TestShardedCampaigns:
         # The report records what actually ran, not what was requested.
         assert report.jobs == 1
 
-    def test_stale_binding_raises_instead_of_corrupting(self):
+    def test_interleaved_bound_runners_stay_correct(self):
+        # Regression for the old global-binding design, where a second
+        # runner's bind() clobbered the first's and the best the
+        # runtime could do was raise "binding changed".  Per-runner
+        # binding stores make interleaved bound runners simply work:
+        # each pool's workers only ever see their own runner's
+        # campaigns, even when the runners bind conflicting copies of
+        # the same class name.
         from repro.engine import parallel as parallel_module
 
         if parallel_module._pool_context().get_start_method() != "fork":
@@ -672,15 +679,20 @@ class TestShardedCampaigns:
         universe = small_universe(4, 4, 11)
         flow = compare_flow(twm.twmarch, 4, 4, initial=None, seed=11)
         work = flow.work_unit()
+        engine = get_engine("batch")
         first = CampaignRunner("batch", 2, min_chunk=4)
         second = CampaignRunner("batch", 2, min_chunk=4)
         try:
             first.bind(work, universe)
-            second.bind(work, {"SAF": universe["SAF"][:6]})  # clobbers
-            with pytest.raises(RuntimeError, match="binding changed"):
-                first.detect_class(
-                    work, universe["CFst-intra"], class_name="CFst-intra"
-                )
+            short = {"SAF": universe["SAF"][:6]}  # conflicting "SAF"
+            second.bind(work, short)
+            for name in ("CFst-intra", "SAF"):
+                assert first.detect_class(
+                    work, universe[name], class_name=name
+                ) == work.run(engine, universe[name]), name
+            assert second.detect_class(
+                work, short["SAF"], class_name="SAF"
+            ) == work.run(engine, short["SAF"])
         finally:
             first.close()
             second.close()
