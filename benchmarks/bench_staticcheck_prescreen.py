@@ -1,0 +1,113 @@
+"""Prescreen throughput benchmark: the synthesis-loop fast path.
+
+``repro.staticcheck.prescreen`` is the gatekeeper a bounded-exhaustive
+march-test synthesizer calls on every enumerated candidate, so its
+throughput bounds the reachable candidate space.  This benchmark
+enumerates a realistic candidate swarm **outside the timed region**
+(parse cost is the enumerator's, not the prescreen's), then measures
+the accept/reject/score rate over it and asserts the ISSUE floor of
+10k candidates/sec.
+
+The swarm mixes the solid and transparent uniform-mask alphabets over
+1–2 elements of 1–3 ops — the same distribution the agreement test in
+``tests/test_staticcheck_predictor.py`` locks against the validators
+and the abstract-replay predictor.
+
+Results land in ``benchmarks/out/staticcheck_prescreen.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_staticcheck_prescreen.py
+    PYTHONPATH=src python benchmarks/bench_staticcheck_prescreen.py \
+        --candidates 20000 --floor 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import pathlib
+import random
+import time
+
+from repro.core.notation import parse_march
+from repro.staticcheck import prescreen
+
+OUT = pathlib.Path(__file__).parent / "out" / "staticcheck_prescreen.json"
+
+SOLID = ("r0", "r1", "w0", "w1")
+TRANSPARENT = ("rc", "r~c", "wc", "w~c")
+
+
+def build_swarm(count: int, seed: int) -> list:
+    """Enumerate+parse *count* candidates (untimed)."""
+    rng = random.Random(seed)
+    pools = []
+    for alphabet in (SOLID, TRANSPARENT):
+        seqs = []
+        for n in range(1, 4):
+            seqs.extend(itertools.product(alphabet, repeat=n))
+        pools.append(
+            [
+                f"{order}({','.join(seq)})"
+                for order in ("up", "down", "any")
+                for seq in seqs
+            ]
+        )
+    candidates = []
+    while len(candidates) < count:
+        elements = rng.choice(pools)
+        n_elements = rng.randint(1, 2)
+        notation = "; ".join(rng.choice(elements) for _ in range(n_elements))
+        candidates.append(parse_march(notation, name="cand"))
+    return candidates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--candidates", type=int, default=50_000)
+    parser.add_argument("--floor", type=float, default=10_000.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    swarm = build_swarm(args.candidates, args.seed)
+
+    best_rate = 0.0
+    accepted = claimed = 0
+    for _ in range(args.repeats):
+        accepted = claimed = 0
+        t0 = time.perf_counter()
+        for candidate in swarm:
+            result = prescreen(candidate)
+            if result.ok:
+                accepted += 1
+                if result.claims:
+                    claimed += 1
+        elapsed = time.perf_counter() - t0
+        best_rate = max(best_rate, len(swarm) / elapsed)
+
+    payload = {
+        "candidates": len(swarm),
+        "accepted": accepted,
+        "with_claims": claimed,
+        "repeats": args.repeats,
+        "best_rate_per_sec": round(best_rate, 1),
+        "floor_per_sec": args.floor,
+    }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"prescreen: {len(swarm)} candidates, {accepted} accepted "
+        f"({claimed} with claims), best {best_rate:,.0f}/sec "
+        f"(floor {args.floor:,.0f}/sec)"
+    )
+    if best_rate < args.floor:
+        print(f"FAIL: rate below the {args.floor:,.0f}/sec floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

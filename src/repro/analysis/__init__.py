@@ -1,5 +1,6 @@
 """Analysis instruments: state graphs, coverage campaigns, tables."""
 
+from .audit import AuditResult, audit_catalog, audit_entry
 from .coverage import (
     AliasingFlow,
     CampaignReport,
@@ -48,6 +49,7 @@ from .table2 import Table2Report, Table2Row, table2_report
 
 __all__ = [
     "AliasingFlow",
+    "AuditResult",
     "CampaignReport",
     "CellObservation",
     "ClassCoverage",
@@ -68,6 +70,8 @@ __all__ = [
     "WidthSweepRow",
     "aliasing_flow",
     "analyse_records",
+    "audit_catalog",
+    "audit_entry",
     "campaign_width_sweep",
     "compare_flow",
     "compare_reports",

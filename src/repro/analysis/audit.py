@@ -1,0 +1,167 @@
+"""Catalog claim audit: static predictor vs. real engine campaigns.
+
+Every :class:`~repro.library.catalog.CatalogEntry` carries a
+``detects`` set — the classic bit-oriented coverage claims from the
+literature.  :func:`audit_entry` checks those claims from two
+independent directions:
+
+* the static coverage predictor
+  (:func:`repro.staticcheck.predict_coverage` at width 1, the
+  bit-oriented setting the metadata speaks) must *imply* every claimed
+  kind, and
+* an actual engine campaign over the standard fault universe must
+  confirm 100 % coverage for every class the predictor guarantees.
+
+The contract is deliberately one-sided: the predictor may claim more
+than the catalog records (classic papers under-report, e.g. AF or RDF
+coverage), and the engine may show lucky 100 %s on classes the
+predictor refuses to guarantee (content-dependent escapes need the
+right initial content to manifest).  What must never happen is a
+catalog claim the predictor cannot prove, or a predictor guarantee the
+engine falsifies — either is a real bug in metadata, predictor, or
+engine, and the audit test gates on both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..memory.injection import standard_fault_universe
+from ..staticcheck.predictor import CLAIM_CLASSES, predict_coverage
+from .coverage import compare_flow, run_campaign
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..library.catalog import CatalogEntry
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Audit verdict for one catalog entry.
+
+    ``claimed`` is the catalog's ``detects`` metadata, ``predicted``
+    the claim kinds the static predictor guarantees, and
+    ``engine_percent`` the measured per-class campaign coverage.
+    Empty ``problems`` means the entry passed.
+    """
+
+    entry_name: str
+    n_words: int
+    width: int
+    claimed: frozenset[str]
+    predicted: frozenset[str]
+    engine_percent: dict[str, float]
+    problems: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        line = (
+            f"{self.entry_name}: {status} — claims {_fmt(self.claimed)}, "
+            f"predictor guarantees {_fmt(self.predicted)}"
+        )
+        if self.problems:
+            line += "".join(f"\n  {problem}" for problem in self.problems)
+        return line
+
+
+def _fmt(kinds: Iterable[str]) -> str:
+    return "{" + ", ".join(sorted(kinds)) + "}"
+
+
+def audit_entry(
+    entry: "CatalogEntry",
+    *,
+    n_words: int = 5,
+    width: int = 1,
+    seed: int = 0,
+    engine: str = "batch",
+) -> AuditResult:
+    """Audit one entry's ``detects`` claims (see the module docstring).
+
+    ``width=1`` matches the bit-oriented language of the metadata;
+    raise it to audit word-level claims instead.  The campaign runs the
+    full universe (RDF/DRDF and AF included) through the alias-free
+    compare flow so aliasing never masks a predictor error.
+    """
+    prediction = predict_coverage(entry.test, width=width)
+    predicted = prediction.claim_kinds
+    problems: list[str] = []
+
+    for kind in sorted(entry.detects):
+        if kind not in CLAIM_CLASSES:
+            problems.append(f"unknown fault kind in catalog metadata: {kind}")
+        elif kind not in predicted:
+            detail = "; ".join(
+                f"{name}: {prediction.classes[name].reason}"
+                for name in CLAIM_CLASSES[kind]
+                if not (
+                    prediction.classes[name].guaranteed
+                    or prediction.classes[name].vacuous
+                )
+            )
+            problems.append(
+                f"catalog claims {kind} but the predictor cannot guarantee "
+                f"it ({detail})"
+            )
+
+    flow = compare_flow(entry.test, n_words, width, seed=seed)
+    universe = standard_fault_universe(
+        n_words,
+        width,
+        include_rdf=True,
+        include_af=True,
+        rng=random.Random(seed),
+    )
+    report = run_campaign(flow, universe, engine=engine)
+    engine_percent = {
+        name: coverage.percent for name, coverage in report.classes.items()
+    }
+    for name in sorted(prediction.claims):
+        percent = engine_percent.get(name)
+        if percent is not None and percent != 100.0:
+            problems.append(
+                f"predictor guarantees {name} but the engine campaign "
+                f"measured {percent:.1f}% ({n_words} words x {width} bits)"
+            )
+
+    return AuditResult(
+        entry.name,
+        n_words,
+        width,
+        frozenset(entry.detects),
+        predicted,
+        engine_percent,
+        tuple(problems),
+    )
+
+
+def audit_catalog(
+    names: Iterable[str] | None = None,
+    *,
+    n_words: int = 5,
+    width: int = 1,
+    seed: int = 0,
+    engine: str = "batch",
+) -> list[AuditResult]:
+    """Audit catalog entries (all of them by default)."""
+    from ..library import catalog
+
+    wanted = catalog.names() if names is None else list(names)
+    return [
+        audit_entry(
+            catalog.entry(name),
+            n_words=n_words,
+            width=width,
+            seed=seed,
+            engine=engine,
+        )
+        for name in wanted
+    ]

@@ -42,7 +42,18 @@ Commands
     against the concrete engines at each swept width; exits non-zero
     on any disagreement.
 ``validate NOTATION``
-    Parse and validate a March test given in textual notation.
+    Parse and validate a March test given in textual notation.  For
+    transparent tests this also runs the randomized execution check
+    (rule X001): the memory must be bit-identical after the test.
+``lint [NAME] [--notation TEXT] [--width B] [--format text|json]``
+    Static analysis: run the march- and IR-level rule layers over the
+    whole catalog (default), one catalog test, or a raw notation
+    string.  ``--rules M020,I010`` selects explicit rule ids (the
+    execution-layer ``X001`` is opt-in this way), ``--severity``
+    filters the displayed diagnostics and ``--fail-on`` sets the exit
+    threshold (default ``error``).  Exit codes are CI-friendly: 0
+    clean, 1 findings at/above the threshold, 2 usage errors (unknown
+    rule, test or notation).
 """
 
 from __future__ import annotations
@@ -63,7 +74,11 @@ from .baselines.scheme1 import scheme1_transform
 from .core.complexity import table3_rows
 from .core.notation import NotationError, format_march, parse_march
 from .core.twm import twm_transform
-from .core.validate import validate_solid, validate_transparent
+from .core.validate import (
+    check_transparency_by_execution,
+    validate_solid,
+    validate_transparent,
+)
 from .engine import (
     CampaignRunner,
     ExecutionError,
@@ -312,12 +327,61 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     kind = "transparent" if test.is_transparent_form else "solid"
     if report.ok:
+        if test.is_transparent_form:
+            check = check_transparency_by_execution(test)
+            if not check:
+                print(check.diagnostic().render(), file=sys.stderr)
+                return 1
+            print(f"valid {kind} march test ({check})")
+            return 0
         print(f"valid {kind} march test")
         return 0
     print(f"invalid {kind} march test:", file=sys.stderr)
     for problem in report.problems:
         print(f"  - {problem}", file=sys.stderr)
     return 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .staticcheck import (
+        Severity,
+        filter_severity,
+        lint_catalog,
+        lint_test,
+        max_severity,
+        render_json,
+        render_text,
+    )
+
+    if args.name is not None and args.notation is not None:
+        raise ValueError("pass a catalog NAME or --notation, not both")
+    rules = (
+        [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        if args.rules
+        else None
+    )
+    if args.notation is not None:
+        try:
+            test = parse_march(args.notation, name="cli")
+        except NotationError as error:
+            print(f"parse error: {error}", file=sys.stderr)
+            return 2
+        diagnostics = lint_test(test, width=args.width, rules=rules)
+    else:
+        names = None if args.name is None else [args.name]
+        diagnostics = lint_catalog(names, width=args.width, rules=rules)
+
+    shown = diagnostics
+    if args.severity is not None:
+        shown = filter_severity(diagnostics, Severity.parse(args.severity))
+    if args.format == "json":
+        print(render_json(shown))
+    else:
+        print(render_text(shown))
+
+    worst = max_severity(diagnostics)
+    threshold = Severity.parse(args.fail_on)
+    return 1 if worst is not None and worst >= threshold else 0
 
 
 def _positive_int(text: str) -> int:
@@ -508,6 +572,48 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="check a notation string")
     validate.add_argument("notation")
 
+    lint = sub.add_parser(
+        "lint", help="static analysis over catalog tests or a notation"
+    )
+    lint.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="catalog test to lint (default: the whole catalog)",
+    )
+    lint.add_argument(
+        "--notation",
+        default=None,
+        help="lint a raw notation string instead of a catalog test",
+    )
+    lint.add_argument(
+        "--width",
+        type=_positive_int,
+        default=32,
+        help="word width the IR/prediction rules analyse at",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: every march- "
+        "and ir-layer rule; exec-layer rules like X001 are opt-in "
+        "here)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="lowest severity that makes the exit code 1",
+    )
+    lint.add_argument(
+        "--severity",
+        choices=("error", "warning", "info"),
+        default=None,
+        help="only display diagnostics at/above this severity "
+        "(the --fail-on gate still sees everything)",
+    )
+
     return parser
 
 
@@ -519,6 +625,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "table2": _cmd_table2,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 

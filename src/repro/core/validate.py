@@ -106,6 +106,66 @@ def validate_transparent(test: MarchTest) -> ValidationReport:
     return report
 
 
+@dataclass(frozen=True)
+class TransparencyViolation:
+    """The first content discrepancy found by the execution check."""
+
+    trial: int
+    address: int
+    before: int
+    after: int
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.trial}: word {self.address} changed "
+            f"{self.before:#x} -> {self.after:#x}"
+        )
+
+
+@dataclass(frozen=True)
+class TransparencyCheck:
+    """Structured result of :func:`check_transparency_by_execution`.
+
+    Truthy exactly when the check passed (drop-in for the old bare
+    bool); a failing check names the trial, address and before/after
+    words, and converts to a lint diagnostic via :meth:`diagnostic`.
+    """
+
+    test_name: str
+    n_words: int
+    width: int
+    seed: int
+    trials: int
+    violation: TransparencyViolation | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def diagnostic(self):
+        """The failure as a staticcheck diagnostic (``None`` if ok)."""
+        if self.violation is None:
+            return None
+        # Local import: staticcheck's rule layers import this module.
+        from ..staticcheck.diagnostics import Diagnostic, Location, Severity
+
+        return Diagnostic(
+            "X001",
+            Severity.ERROR,
+            f"transparency violated by execution: {self.violation} "
+            f"({self.n_words} words x {self.width} bits, seed {self.seed})",
+            Location(subject=self.test_name),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ok:
+            return f"transparent over {self.trials} randomized trials"
+        return str(self.violation)
+
+
 def check_transparency_by_execution(
     test: MarchTest,
     *,
@@ -113,17 +173,63 @@ def check_transparency_by_execution(
     width: int = 8,
     seed: int = 0,
     trials: int = 3,
-) -> bool:
+) -> TransparencyCheck:
     """Dynamic transparency check: run on random fault-free contents and
-    verify the memory is bit-identical afterwards."""
+    verify the memory is bit-identical afterwards.
+
+    Returns a :class:`TransparencyCheck` (bool-compatible); on failure
+    it pinpoints the first diverging word.
+    """
     from ..bist.executor import run_march  # local import to avoid a cycle
 
     rng = random.Random(seed)
-    for _ in range(trials):
+    for trial in range(trials):
         memory = Memory(n_words, width)
         memory.randomize(rng)
         before = memory.snapshot()
         run_march(test, memory)
-        if not words_equal(memory.snapshot(), before):
-            return False
-    return True
+        after = memory.snapshot()
+        if not words_equal(after, before):
+            address = next(
+                addr for addr, (b, a) in enumerate(zip(before, after)) if b != a
+            )
+            return TransparencyCheck(
+                test.name,
+                n_words,
+                width,
+                seed,
+                trials,
+                TransparencyViolation(
+                    trial, address, before[address], after[address]
+                ),
+            )
+    return TransparencyCheck(test.name, n_words, width, seed, trials)
+
+
+def register_exec_rules(registry) -> None:
+    """Declare the execution-layer rules (``X0xx``) in *registry*.
+
+    These run the simulator, so the static ``repro lint`` path skips
+    them unless explicitly selected by id; ``repro validate`` runs
+    X001 on every transparent test.
+    """
+    from ..staticcheck.diagnostics import Rule, Severity
+
+    def check_x001(_rule, target):
+        if not target.test.is_transparent_form:
+            return
+        result = check_transparency_by_execution(target.test)
+        diagnostic = result.diagnostic()
+        if diagnostic is not None:
+            yield diagnostic
+
+    registry.register(
+        Rule(
+            "X001",
+            "transparency-execution",
+            Severity.ERROR,
+            "randomized execution check finds a net content change",
+            layer="exec",
+            check=check_x001,
+        )
+    )

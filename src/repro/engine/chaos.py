@@ -27,7 +27,9 @@ one.
 
 from __future__ import annotations
 
+import os
 import random
+import time
 import zlib
 from dataclasses import dataclass
 
@@ -38,6 +40,21 @@ CHAOS_KINDS = ("crash", "hang", "corrupt", "error")
 # bound so a chaos plan without a timeout wedges one campaign, not the
 # interpreter.
 HANG_SECONDS = 600.0
+
+
+def perform(action: str | None) -> None:
+    """Carry out a pre-chunk disturbance inside a worker process.
+
+    Only the *pre-execution* kinds are handled here — ``crash`` kills
+    the process hard and ``hang`` sleeps past every sane lease
+    deadline; ``corrupt`` and ``error`` need the chunk itself and stay
+    with the executor.  Centralised so process-kill semantics live in
+    exactly one module (the determinism lint forbids ``os._exit``
+    anywhere else in the engine)."""
+    if action == "crash":
+        os._exit(13)
+    if action == "hang":
+        time.sleep(HANG_SECONDS)
 
 
 @dataclass(frozen=True)

@@ -115,7 +115,6 @@ slice instead — slower transport, same verdicts.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -124,7 +123,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..memory.injection import FaultClass
 from .base import Engine, ExecutionError, engine_names, get_engine
-from .chaos import HANG_SECONDS, FaultPlan
+from .chaos import FaultPlan, perform as perform_chaos
 from .context import ContextCache, ContextStats
 from .retry import FaultToleranceStats, RetryPolicy
 
@@ -430,10 +429,7 @@ def _execute_chunk(engine_name: str, store: _BindingStore, task, action):
     context cache.  Returns ``(packed_verdicts, stats_delta)`` — the
     packed bitset pickles back to the parent at a few bytes per 8
     faults."""
-    if action == "crash":
-        os._exit(13)
-    if action == "hang":
-        time.sleep(HANG_SECONDS)
+    perform_chaos(action)
     if task[0] == "bound":
         _, key, class_name, gen, start, stop = task
         work = store.works.get(key)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.march import MarchTest
 from ..core.notation import parse_march
+from ..memory.faults import FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -22,6 +23,15 @@ class CatalogEntry:
     test: MarchTest
     reference: str
     detects: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        unknown = self.detects - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"catalog entry {self.test.name!r} claims unknown fault "
+                f"kinds {sorted(unknown)}; known kinds: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
 
     @property
     def name(self) -> str:

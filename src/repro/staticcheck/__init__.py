@@ -1,0 +1,68 @@
+"""Static analysis subsystem: march/IR lint, coverage prediction,
+candidate prescreening.
+
+Three layers on one diagnostics core (:mod:`.diagnostics`):
+
+* march-level rules (``M0xx``) over the source test structure,
+  including the static coverage predictor (:mod:`.predictor`);
+* IR-level rules (``I0xx``) over the compiled/symbolic programs;
+* the ``prescreen`` fast path for synthesis-loop candidates.
+
+``python -m repro lint`` is the CLI surface; ``repro.analysis.audit``
+cross-validates the predictor against real engine campaigns.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    Location,
+    Rule,
+    RuleRegistry,
+    Severity,
+    filter_severity,
+    max_severity,
+    render_json,
+    render_text,
+    severity_counts,
+)
+from .lint import (
+    DEFAULT_WIDTH,
+    LintTarget,
+    default_registry,
+    lint_catalog,
+    lint_test,
+    registry,
+)
+from .predictor import (
+    CLAIM_CLASSES,
+    UNIVERSE_CLASSES,
+    ClassPrediction,
+    CoveragePrediction,
+    predict_coverage,
+)
+from .prescreen import PrescreenResult, prescreen
+
+__all__ = [
+    "CLAIM_CLASSES",
+    "DEFAULT_WIDTH",
+    "ClassPrediction",
+    "CoveragePrediction",
+    "Diagnostic",
+    "LintTarget",
+    "Location",
+    "PrescreenResult",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "UNIVERSE_CLASSES",
+    "default_registry",
+    "filter_severity",
+    "lint_catalog",
+    "lint_test",
+    "max_severity",
+    "predict_coverage",
+    "prescreen",
+    "registry",
+    "render_json",
+    "render_text",
+    "severity_counts",
+]

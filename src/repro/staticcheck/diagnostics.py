@@ -1,0 +1,244 @@
+"""Structured diagnostics for the static analysis subsystem.
+
+Everything the lint layers emit funnels through one shape: a
+:class:`Diagnostic` carries a rule id, a severity, a message and a
+:class:`Location` precise down to the element/op index of a march test
+(or file/line for the source-level determinism lint).  Rules are
+declared once in a :class:`RuleRegistry` so ids are unique, selectable
+from the CLI, and renderable as a documentation table; the text and
+JSON renderers are shared by ``python -m repro lint`` and
+``tools/detlint.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the integer order is the gating order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of {known}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    ``subject`` is a march-test name or a file path; ``element``/``op``
+    index into the test structure (march/IR layers) while ``line``/
+    ``col`` index into source text (determinism lint).  All fields are
+    optional so one shape serves every layer.
+    """
+
+    subject: str | None = None
+    element: int | None = None
+    op: int | None = None
+    line: int | None = None
+    col: int | None = None
+
+    def render(self) -> str:
+        parts = [self.subject or "<test>"]
+        if self.line is not None:
+            parts.append(f"{self.line}")
+            if self.col is not None:
+                parts.append(f"{self.col}")
+            return ":".join(parts)
+        where = ""
+        if self.element is not None:
+            where = f"e{self.element}"
+            if self.op is not None:
+                where += f".op{self.op}"
+        return f"{parts[0]} {where}".rstrip()
+
+    def to_dict(self) -> dict:
+        return {
+            key: value
+            for key, value in (
+                ("subject", self.subject),
+                ("element", self.element),
+                ("op", self.op),
+                ("line", self.line),
+                ("col", self.col),
+            )
+            if value is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Location":
+        return cls(
+            subject=data.get("subject"),
+            element=data.get("element"),
+            op=data.get("op"),
+            line=data.get("line"),
+            col=data.get("col"),
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id + severity + message + location."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+
+    def render(self) -> str:
+        return (
+            f"{self.location.render()}: {self.severity}[{self.rule}] "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=Severity.parse(data["severity"]),
+            message=data["message"],
+            location=Location.from_dict(data.get("location", {})),
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: stable id, default severity, and the
+    callable that inspects a lint target and yields diagnostics.
+
+    ``layer`` groups rules for selection and documentation: ``march``
+    rules see the source :class:`~repro.core.march.MarchTest`, ``ir``
+    rules see the compiled/symbolic programs, ``exec`` rules run the
+    simulator (never part of the static default set), and ``det``
+    rules belong to the source-level determinism lint.
+
+    ``check`` is called as ``check(rule, target)`` — the rule passes
+    itself so one generic function can serve several registered ids —
+    and yields :class:`Diagnostic` instances.
+    """
+
+    id: str
+    name: str
+    severity: Severity
+    summary: str
+    layer: str = "march"
+    check: Callable[..., Iterable[Diagnostic]] | None = None
+
+    def run(self, target) -> list[Diagnostic]:
+        if self.check is None:
+            return []
+        return list(self.check(self, target))
+
+
+class RuleRegistry:
+    """Ordered, collision-checked collection of :class:`Rule`."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._rules))
+            raise ValueError(
+                f"unknown rule {rule_id!r}; known rules: {known}"
+            ) from None
+
+    def select(
+        self,
+        ids: Iterable[str] | None = None,
+        *,
+        layers: Iterable[str] | None = None,
+    ) -> list[Rule]:
+        """Rules filtered by explicit ids and/or layers, in id order.
+
+        Unknown ids raise (a usage error, not a silent no-op).
+        """
+        if ids is None:
+            rules = list(self)
+        else:
+            rules = [self.get(rule_id) for rule_id in ids]
+        if layers is not None:
+            wanted = set(layers)
+            rules = [rule for rule in rules if rule.layer in wanted]
+        return sorted(rules, key=lambda rule: rule.id)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(sorted(self._rules.values(), key=lambda rule: rule.id))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+
+def filter_severity(
+    diagnostics: Iterable[Diagnostic], minimum: Severity
+) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.severity >= minimum]
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    best: Severity | None = None
+    for diagnostic in diagnostics:
+        if best is None or diagnostic.severity > best:
+            best = diagnostic.severity
+    return best
+
+
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    counts = {str(severity): 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[str(diagnostic.severity)] += 1
+    return counts
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One line per diagnostic plus a counts summary line."""
+    lines = [d.render() for d in diagnostics]
+    counts = severity_counts(diagnostics)
+    summary = ", ".join(f"{counts[str(s)]} {s}" for s in sorted(Severity, reverse=True))
+    lines.append(f"lint: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-readable report: diagnostics + severity counts."""
+    payload = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "counts": severity_counts(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,217 @@
+"""IR-level lint rules (``I0xx``): checks on the compiled views of a
+march test from :mod:`repro.engine.program`.
+
+These rules guard the source→IR contract the engines rely on
+(op-count and address-order fidelity), flag width-dependence hazards
+(masks that cannot resolve, backgrounds that degenerate at narrow
+widths), and report symbolic-engine compatibility (constructs that
+force the interpreter fallback or pin verdicts to concrete widths).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.element import AddressOrder
+from .diagnostics import Diagnostic, Location, Rule, RuleRegistry, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lint import LintTarget
+
+
+def _diag(
+    rule: Rule, target: "LintTarget", message: str, element=None, op=None
+) -> Diagnostic:
+    return Diagnostic(
+        rule.id,
+        rule.severity,
+        message,
+        Location(subject=target.name, element=element, op=op),
+    )
+
+
+def check_ir_op_count(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """I001: compiled op/read counts must match the source test."""
+    program = target.program
+    if program is None:
+        return
+    test = target.test
+    if program.op_count != test.op_count or program.n_reads != test.n_reads:
+        yield _diag(
+            rule,
+            target,
+            f"compiled program has {program.op_count} ops / "
+            f"{program.n_reads} reads, source has {test.op_count} / "
+            f"{test.n_reads}",
+        )
+        return
+    for ei, (pe, se) in enumerate(zip(program.elements, test.elements)):
+        if len(pe.steps) != len(se.ops):
+            yield _diag(
+                rule,
+                target,
+                f"compiled element has {len(pe.steps)} steps, source "
+                f"element has {len(se.ops)} ops",
+                element=ei,
+            )
+
+
+def check_ir_address_order(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """I002: the IR's descending flags must mirror the source orders
+    (``ANY`` resolves to ascending, exactly like the executor)."""
+    program = target.program
+    if program is None:
+        return
+    for ei, (pe, se) in enumerate(zip(program.elements, target.test.elements)):
+        descending = se.order is AddressOrder.DOWN
+        if pe.descending != descending:
+            compiled = "descending" if pe.descending else "ascending"
+            yield _diag(
+                rule,
+                target,
+                f"compiled element is {compiled}, "
+                f"source order is {se.order.arrow}",
+                element=ei,
+            )
+
+
+def check_degenerate_background(
+    rule: Rule, target: "LintTarget"
+) -> Iterator[Diagnostic]:
+    """I003: a checker background ``D_k`` whose stride ``2**(k-1)``
+    reaches the word width resolves to the all-ones background — the
+    pass adds cost but no new intra-word sensitization."""
+    width = target.width
+    seen: set[int] = set()
+    for ei, element in enumerate(target.test.elements):
+        for oi, op in enumerate(element.ops):
+            for pattern in op.data.mask.terms:
+                if pattern.family != "checker" or pattern.index in seen:
+                    continue
+                seen.add(pattern.index)
+                if (1 << (pattern.index - 1)) >= width:
+                    yield _diag(
+                        rule,
+                        target,
+                        f"background D{pattern.index} degenerates to the "
+                        f"all-ones background at width {width} (stride "
+                        f"{1 << (pattern.index - 1)} >= width)",
+                        element=ei,
+                        op=oi,
+                    )
+
+
+def check_unresolvable_mask(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """I005: some mask cannot resolve at the lint width, so
+    ``compile_march(test, width)`` raises."""
+    if target.program is not None:
+        return
+    for ei, element in enumerate(target.test.elements):
+        for oi, op in enumerate(element.ops):
+            if op.data.mask.min_width > target.width:
+                yield _diag(
+                    rule,
+                    target,
+                    f"mask {op.data.mask.symbol} needs width >= "
+                    f"{op.data.mask.min_width}, lint width is {target.width} "
+                    "(compilation fails)",
+                    element=ei,
+                    op=oi,
+                )
+
+
+def check_symbolic_compat(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """I004: constructs that limit the symbolic engine — underivable
+    writes force the interpreter/ExecutionError path in derived-write
+    mode."""
+    symbolic = target.symbolic
+    if symbolic is None or symbolic.derivable:
+        return
+    for ei, element in enumerate(symbolic.elements):
+        for oi, (_is_read, _relative, _mask, derivable) in enumerate(element.steps):
+            if not derivable:
+                yield _diag(
+                    rule,
+                    target,
+                    "underivable write: derived-write engines raise "
+                    "ExecutionError and symbolic evaluation falls back "
+                    "to absolute semantics",
+                    element=ei,
+                    op=oi,
+                )
+
+
+def check_ir_stats(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """I010: one informational line about the compiled shape."""
+    program = target.program
+    if program is None:
+        return
+    derivable = "derivable" if program.derivable else "NOT derivable"
+    symbolic = target.symbolic
+    min_width = symbolic.min_width if symbolic is not None else 1
+    concretize = (
+        f"; symbolic verdicts concretize at widths >= {min_width}"
+        if min_width > 1
+        else ""
+    )
+    yield _diag(
+        rule,
+        target,
+        f"IR at width {target.width}: {len(program.elements)} elements, "
+        f"{program.op_count} steps ({program.n_reads} reads), "
+        f"writes {derivable} by the BIST datapath{concretize}",
+    )
+
+
+_RULES = (
+    (
+        "I001",
+        "ir-op-count",
+        Severity.ERROR,
+        "compiled op/read counts disagree with the source test",
+        check_ir_op_count,
+    ),
+    (
+        "I002",
+        "ir-address-order",
+        Severity.ERROR,
+        "compiled address order disagrees with the source element",
+        check_ir_address_order,
+    ),
+    (
+        "I003",
+        "degenerate-background",
+        Severity.WARNING,
+        "checker background degenerates to all-ones at this width",
+        check_degenerate_background,
+    ),
+    (
+        "I004",
+        "symbolic-compat",
+        Severity.WARNING,
+        "construct limits the symbolic engine (fallback or min width)",
+        check_symbolic_compat,
+    ),
+    (
+        "I005",
+        "unresolvable-mask",
+        Severity.ERROR,
+        "mask cannot resolve at the lint width",
+        check_unresolvable_mask,
+    ),
+    (
+        "I010",
+        "ir-stats",
+        Severity.INFO,
+        "compiled-program shape summary",
+        check_ir_stats,
+    ),
+)
+
+
+def register(registry: RuleRegistry) -> None:
+    """Declare the IR-level rules in *registry*."""
+    for rule_id, name, severity, summary, check in _RULES:
+        registry.register(
+            Rule(rule_id, name, severity, summary, layer="ir", check=check)
+        )

@@ -1,0 +1,149 @@
+"""Lint driver: assembles the default registry and runs rule layers
+over march tests (with cached compiled/symbolic/predicted views)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..core.march import MarchTest
+from ..core.validate import validate_solid, validate_transparent
+from ..engine.program import compile_march, compile_symbolic
+from . import ir_rules, march_rules
+from .diagnostics import Diagnostic, RuleRegistry
+from .predictor import CoveragePrediction, predict_coverage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..library.catalog import CatalogEntry
+
+DEFAULT_WIDTH = 32
+
+# Layers the static `repro lint` command runs; `exec` rules (which run
+# the simulator) are opt-in by explicit rule selection.
+STATIC_LAYERS = ("march", "ir")
+
+
+@dataclass
+class LintTarget:
+    """One test under analysis, with lazily cached derived views.
+
+    Rules pull whatever layer they need: the raw test, the compiled
+    program at ``width`` (``None`` when compilation fails — the
+    unresolvable-mask rule reports why), the symbolic program, and the
+    coverage predictions at ``width`` and at width 1 (the bit-oriented
+    claims the catalog metadata is written in).
+    """
+
+    test: MarchTest
+    width: int = DEFAULT_WIDTH
+    entry: "CatalogEntry | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.test.name
+
+    @cached_property
+    def well_formed(self) -> bool:
+        if self.test.is_transparent_form:
+            return validate_transparent(self.test).ok
+        if self.test.is_solid_form:
+            return validate_solid(self.test).ok
+        return False
+
+    @cached_property
+    def program(self):
+        try:
+            return compile_march(self.test, self.width)
+        except ValueError:
+            return None
+
+    @cached_property
+    def symbolic(self):
+        try:
+            return compile_symbolic(self.test)
+        except ValueError:  # pragma: no cover - no current construct hits this
+            return None
+
+    @cached_property
+    def prediction(self) -> CoveragePrediction:
+        return predict_coverage(self.test, width=self.width)
+
+    @cached_property
+    def bit_prediction(self) -> CoveragePrediction:
+        return predict_coverage(self.test, width=1)
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding every built-in rule."""
+    registry = RuleRegistry()
+    march_rules.register(registry)
+    ir_rules.register(registry)
+    # Execution-layer rule ids are registered (documented, selectable)
+    # even though their checks live outside the static path.
+    from ..core.validate import register_exec_rules
+
+    register_exec_rules(registry)
+    return registry
+
+
+_DEFAULT_REGISTRY: RuleRegistry | None = None
+
+
+def registry() -> RuleRegistry:
+    """The shared default registry (built once per process)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = default_registry()
+    return _DEFAULT_REGISTRY
+
+
+def lint_test(
+    test: MarchTest,
+    *,
+    width: int = DEFAULT_WIDTH,
+    entry: "CatalogEntry | None" = None,
+    rules: Iterable[str] | None = None,
+    rule_registry: RuleRegistry | None = None,
+) -> list[Diagnostic]:
+    """Run the static rule set over one test.
+
+    ``rules`` selects explicit rule ids (unknown ids raise
+    ``ValueError`` — a usage error); by default every ``march`` and
+    ``ir`` layer rule runs.
+    """
+    reg = rule_registry if rule_registry is not None else registry()
+    layers = None if rules is not None else STATIC_LAYERS
+    selected = reg.select(rules, layers=layers)
+    target = LintTarget(test, width=width, entry=entry)
+    diagnostics: list[Diagnostic] = []
+    for rule in selected:
+        diagnostics.extend(rule.run(target))
+    return diagnostics
+
+
+def lint_catalog(
+    names: Sequence[str] | None = None,
+    *,
+    width: int = DEFAULT_WIDTH,
+    rules: Iterable[str] | None = None,
+    rule_registry: RuleRegistry | None = None,
+) -> list[Diagnostic]:
+    """Lint catalog entries (all of them by default), with catalog
+    metadata attached so the claim-drift rule (M041) is live."""
+    from ..library import catalog
+
+    wanted = catalog.names() if names is None else list(names)
+    diagnostics: list[Diagnostic] = []
+    for name in wanted:
+        entry = catalog.entry(name)
+        diagnostics.extend(
+            lint_test(
+                entry.test,
+                width=width,
+                entry=entry,
+                rules=rules,
+                rule_registry=rule_registry,
+            )
+        )
+    return diagnostics

@@ -1,0 +1,440 @@
+"""March-level lint rules (``M0xx``): structural checks on the source
+:class:`~repro.core.march.MarchTest` before any compilation.
+
+The well-formedness rules (M001–M006) are the two ``core/validate.py``
+checks ported onto the diagnostics framework with op-precise locations;
+the remaining rules add dead/redundant op detection, complexity
+accounting (the paper's N/Q formulas), signature-symmetry analysis
+(reusing :mod:`repro.bist.symmetry`), and the static coverage
+predictor's claims — including the catalog-claim consistency check
+(M041) that the audit test gates on.
+
+Every check takes ``(rule, target)`` — the registered rule supplies id
+and severity, the :class:`~repro.staticcheck.lint.LintTarget` supplies
+the test plus cached compiled/predicted views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..bist.symmetry import reads_per_word
+from ..core.complexity import twm_formula_tcm, twm_formula_tcp
+from ..core.ops import Mask
+from .diagnostics import Diagnostic, Location, Rule, RuleRegistry, Severity
+from .predictor import CLAIM_CLASSES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lint import LintTarget
+
+
+def _diag(
+    rule: Rule, target: "LintTarget", message: str, element=None, op=None
+) -> Diagnostic:
+    return Diagnostic(
+        rule.id,
+        rule.severity,
+        message,
+        Location(subject=target.name, element=element, op=op),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness (ported from core/validate.py)
+# ---------------------------------------------------------------------------
+
+
+def check_mixed_form(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    test = target.test
+    if test.is_solid_form or test.is_transparent_form:
+        return
+    for ei, element in enumerate(test.elements):
+        for oi, op in enumerate(element.ops):
+            if op.is_relative:
+                yield _diag(
+                    rule,
+                    target,
+                    "content-relative op in a test that also uses absolute "
+                    "data (mixed form: neither solid nor transparent)",
+                    element=ei,
+                    op=oi,
+                )
+                return
+
+
+def _solid_phase(test) -> Iterator[tuple[int, int, object, Mask | None]]:
+    """``validate_solid``'s content-phase walk, op by op: yields
+    ``(element, op, Op, content_entering_the_op)``."""
+    current: Mask | None = None
+    for ei, element in enumerate(test.elements):
+        visit = current
+        for oi, op in enumerate(element.ops):
+            yield ei, oi, op, visit
+            if op.is_write:
+                visit = op.data.mask
+        current = visit
+
+
+def check_read_before_write(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.test.is_solid_form:
+        return
+    for ei, oi, op, content in _solid_phase(target.test):
+        if op.is_read and content is None:
+            yield _diag(
+                rule,
+                target,
+                "read before any write (uninitialized content)",
+                element=ei,
+                op=oi,
+            )
+
+
+def check_read_mismatch(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.test.is_solid_form:
+        return
+    for ei, oi, op, content in _solid_phase(target.test):
+        if op.is_read and content is not None and op.data.mask != content:
+            yield _diag(
+                rule,
+                target,
+                f"read expects {op.data.mask.symbol}, content is "
+                f"{content.symbol}",
+                element=ei,
+                op=oi,
+            )
+
+
+def _transparent_phase(test) -> Iterator[tuple[int, int, object, Mask, bool]]:
+    """``validate_transparent``'s delta-phase walk: yields
+    ``(element, op, Op, delta_entering_the_op, seen_read_in_element)``."""
+    current = Mask.ZERO
+    for ei, element in enumerate(test.elements):
+        seen_read = False
+        visit = current
+        for oi, op in enumerate(element.ops):
+            yield ei, oi, op, visit, seen_read
+            if op.is_read:
+                seen_read = True
+            else:
+                visit = op.data.mask
+        current = visit
+
+
+def check_underivable_write(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.test.is_transparent_form:
+        return
+    for ei, oi, op, _delta, seen_read in _transparent_phase(target.test):
+        if op.is_write and not seen_read:
+            yield _diag(
+                rule,
+                target,
+                f"write {op} precedes any read in its element (not "
+                "derivable by the BIST XOR datapath)",
+                element=ei,
+                op=oi,
+            )
+
+
+def check_phase_mismatch(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.test.is_transparent_form:
+        return
+    for ei, oi, op, delta, _seen in _transparent_phase(target.test):
+        if op.is_read and op.data.mask != delta:
+            yield _diag(
+                rule,
+                target,
+                f"read expects c^{op.data.mask.symbol}, content is "
+                f"c^{delta.symbol}",
+                element=ei,
+                op=oi,
+            )
+
+
+def check_transparency_residue(
+    rule: Rule, target: "LintTarget"
+) -> Iterator[Diagnostic]:
+    test = target.test
+    if not test.is_transparent_form:
+        return
+    final = Mask.ZERO
+    for _ei, _oi, op, _delta, _seen in _transparent_phase(test):
+        if op.is_write:
+            final = op.data.mask
+    if not final.is_zero:
+        yield _diag(
+            rule,
+            target,
+            f"test is not transparent: final content is c^{final.symbol}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dead / redundant operations
+# ---------------------------------------------------------------------------
+
+
+def _phase_walk(target: "LintTarget"):
+    """Flat op walk with the tracked content phase entering each op
+    (absolute content for solid tests, delta for transparent ones)."""
+    test = target.test
+    phase: Mask | None = None if test.is_solid_form else Mask.ZERO
+    for ei, element in enumerate(test.elements):
+        for oi, op in enumerate(element.ops):
+            yield ei, oi, op, phase
+            if op.is_write:
+                phase = op.data.mask
+
+
+def check_noop_write(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.well_formed:
+        return
+    for ei, oi, op, phase in _phase_walk(target):
+        if op.is_write and phase is not None and op.data.mask == phase:
+            yield _diag(
+                rule,
+                target,
+                f"write {op} re-writes the current content — a no-op under "
+                "the implemented fault models (classically a WDF/write-"
+                "disturb sensitizer)",
+                element=ei,
+                op=oi,
+            )
+
+
+def check_unread_write(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """A write whose value is never read back: overwritten without an
+    intervening read, or trailing at the end of the test.  Such writes
+    contribute only transitions (TF/CF sensitization) or transparency
+    restoration — worth knowing when minimizing a candidate."""
+    if not target.well_formed:
+        return
+    pending: tuple[int, int, object] | None = None
+    for ei, oi, op, _phase in _phase_walk(target):
+        if op.is_read:
+            pending = None
+        else:
+            if pending is not None:
+                pei, poi, pop = pending
+                yield _diag(
+                    rule,
+                    target,
+                    f"write {pop} is overwritten at e{ei}.op{oi} without an "
+                    "intervening read (contributes only a transition)",
+                    element=pei,
+                    op=poi,
+                )
+            pending = (ei, oi, op)
+    if pending is not None:
+        pei, poi, pop = pending
+        yield _diag(
+            rule,
+            target,
+            f"write {pop} is never read back (restores content / "
+            "transition only)",
+            element=pei,
+            op=poi,
+        )
+
+
+def check_repeated_read(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.well_formed:
+        return
+    previous_read = False
+    for ei, oi, op, _phase in _phase_walk(target):
+        if op.is_read:
+            if previous_read:
+                yield _diag(
+                    rule,
+                    target,
+                    f"read {op} immediately repeats the previous read "
+                    "(redundant for content observation; sensitizes "
+                    "deceptive read-disturb faults)",
+                    element=ei,
+                    op=oi,
+                )
+            previous_read = True
+        else:
+            previous_read = False
+
+
+# ---------------------------------------------------------------------------
+# Accounting, symmetry, coverage claims
+# ---------------------------------------------------------------------------
+
+
+def check_complexity(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    test = target.test
+    tcm = twm_formula_tcm(test.op_count, target.width)
+    tcp = twm_formula_tcp(test.n_reads, target.width)
+    yield _diag(
+        rule,
+        target,
+        f"N={test.op_count} ops/address (R={test.n_reads}, "
+        f"W={test.n_writes}) over {len(test.elements)} elements; "
+        f"TWM cost at width {target.width}: TCM={tcm}n, TCP={tcp}n",
+    )
+
+
+def check_symmetry(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    test = target.test
+    if not test.is_transparent_form or not target.well_formed:
+        return
+    q = reads_per_word(test)
+    if q % 2:
+        yield _diag(
+            rule,
+            target,
+            f"odd per-word read count (Q={q}): the XOR signature stays "
+            "content-dependent; symmetrize() would append 1 balancing "
+            "read element",
+        )
+
+
+def check_coverage_claims(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    if not target.well_formed:
+        return
+    word = sorted(target.prediction.claim_kinds)
+    bit = sorted(target.bit_prediction.claim_kinds)
+    yield _diag(
+        rule,
+        target,
+        f"guaranteed 100% detection — bit-oriented: "
+        f"{', '.join(bit) if bit else '(none)'}; at width {target.width}: "
+        f"{', '.join(word) if word else '(none)'}",
+    )
+
+
+def check_catalog_claims(rule: Rule, target: "LintTarget") -> Iterator[Diagnostic]:
+    """M041: every ``CatalogEntry.detects`` claim must be implied by
+    the bit-oriented static prediction (the catalog metadata speaks
+    the classic bit-oriented language, i.e. width 1)."""
+    entry = target.entry
+    if entry is None:
+        return
+    prediction = target.bit_prediction
+    claimed = prediction.claim_kinds
+    for kind in sorted(entry.detects):
+        if kind not in CLAIM_CLASSES:
+            yield _diag(rule, target, f"catalog claims unknown fault kind {kind!r}")
+            continue
+        if kind in claimed:
+            continue
+        failing = [
+            prediction.classes[name]
+            for name in CLAIM_CLASSES[kind]
+            if name in prediction.classes
+            and not (
+                prediction.classes[name].guaranteed
+                or prediction.classes[name].vacuous
+            )
+        ]
+        detail = "; ".join(f"{p.name}: {p.reason}" for p in failing)
+        yield _diag(
+            rule,
+            target,
+            f"catalog claims {kind} but the static predictor cannot "
+            f"guarantee it ({detail or 'no supporting class'})",
+        )
+
+
+_RULES = (
+    (
+        "M001",
+        "mixed-form",
+        Severity.ERROR,
+        "test mixes absolute and content-relative data",
+        check_mixed_form,
+    ),
+    (
+        "M002",
+        "read-before-write",
+        Severity.ERROR,
+        "solid test reads uninitialized content",
+        check_read_before_write,
+    ),
+    (
+        "M003",
+        "read-content-mismatch",
+        Severity.ERROR,
+        "solid read expectation disagrees with tracked content",
+        check_read_mismatch,
+    ),
+    (
+        "M004",
+        "underivable-write",
+        Severity.ERROR,
+        "transparent write has no earlier read in its element",
+        check_underivable_write,
+    ),
+    (
+        "M005",
+        "phase-mismatch",
+        Severity.ERROR,
+        "transparent read expectation disagrees with tracked delta",
+        check_phase_mismatch,
+    ),
+    (
+        "M006",
+        "not-transparent",
+        Severity.ERROR,
+        "net content change of a transparent-form test is nonzero",
+        check_transparency_residue,
+    ),
+    (
+        "M010",
+        "noop-write",
+        Severity.INFO,
+        "write re-writes the current content (WDF sensitizer only)",
+        check_noop_write,
+    ),
+    (
+        "M011",
+        "unread-write",
+        Severity.INFO,
+        "write value is never read back",
+        check_unread_write,
+    ),
+    (
+        "M012",
+        "repeated-read",
+        Severity.INFO,
+        "consecutive identical reads (DRDF sensitizer)",
+        check_repeated_read,
+    ),
+    (
+        "M020",
+        "complexity",
+        Severity.INFO,
+        "op/read/write accounting and the paper's TWM cost formulas",
+        check_complexity,
+    ),
+    (
+        "M030",
+        "asymmetric-signature",
+        Severity.INFO,
+        "odd per-word read count leaves the XOR signature content-dependent",
+        check_symmetry,
+    ),
+    (
+        "M040",
+        "coverage-claims",
+        Severity.INFO,
+        "fault classes the static predictor guarantees at 100%",
+        check_coverage_claims,
+    ),
+    (
+        "M041",
+        "catalog-claim-drift",
+        Severity.ERROR,
+        "catalog detects-claim not implied by the static predictor",
+        check_catalog_claims,
+    ),
+)
+
+
+def register(registry: RuleRegistry) -> None:
+    """Declare the march-level rules in *registry*."""
+    for rule_id, name, severity, summary, check in _RULES:
+        registry.register(
+            Rule(rule_id, name, severity, summary, layer="march", check=check)
+        )

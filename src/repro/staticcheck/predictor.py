@@ -1,0 +1,403 @@
+"""Static per-fault-class coverage prediction for march tests.
+
+``predict_coverage`` decides, *without building an engine or touching a
+real memory geometry*, which fault classes of the standard universe a
+march test is guaranteed to detect at 100 % — for every memory size,
+every initial content, and every fault parameter variant.
+
+The argument that makes this sound is a support-cell reduction: under
+the compare oracle, the expected value of every read depends only on
+the post-injection snapshot of the word being read (``snapshot ^ mask``
+for content-relative ops, ``mask`` for absolute ones), and every fault
+in the universe touches at most two cells.  Non-support addresses are
+fault-free, never mismatch, and never influence the support cells — so
+detection of a fault is exactly decided by an *abstract* run over its
+support cells alone: one or two words of one or two bit lanes, with
+each lane driven by the test's per-bit mask stream (its *bit
+signature*).  The predictor enumerates every case that can occur —
+distinct bit signatures at the requested width, both relative address
+orders for two-word faults, all 2^k initial support contents, all
+parameter variants in the class — and replays each through
+:class:`~repro.memory.injection.FaultyMemory` fault semantics with the
+reference engine's exact read/derived-write rules.  A class is claimed
+only if *every* case is detected; the first escaping case is reported
+as the reason.
+
+This is cross-validated against real engine campaigns by
+``repro.analysis.audit`` (and gated by the catalog audit test), so the
+static claims and simulated truth cannot drift.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..core.march import MarchTest
+from ..core.ops import Mask
+from ..core.validate import validate_solid, validate_transparent
+from ..memory.faults import (
+    FAULT_KINDS,
+    AddressDecoderFault,
+    Cell,
+    Fault,
+    IdempotentCouplingFault,
+    InversionCouplingFault,
+    ReadDisturbFault,
+    StateCouplingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from ..memory.injection import FaultyMemory
+
+# Universe class keys, in the order of `standard_fault_universe`.
+UNIVERSE_CLASSES = (
+    "SAF",
+    "TF",
+    "CFst-intra",
+    "CFst-inter",
+    "CFid-intra",
+    "CFid-inter",
+    "CFin-intra",
+    "CFin-inter",
+    "RDF",
+    "DRDF",
+    "AF",
+)
+
+# Catalog-level claim kind -> the universe classes it must cover.
+CLAIM_CLASSES: dict[str, tuple[str, ...]] = {
+    "SAF": ("SAF",),
+    "TF": ("TF",),
+    "CFst": ("CFst-intra", "CFst-inter"),
+    "CFid": ("CFid-intra", "CFid-inter"),
+    "CFin": ("CFin-intra", "CFin-inter"),
+    "RDF": ("RDF",),
+    "DRDF": ("DRDF",),
+    "AF": ("AF",),
+}
+assert set(CLAIM_CLASSES) == set(FAULT_KINDS)
+
+
+@dataclass(frozen=True)
+class ClassPrediction:
+    """Verdict for one universe class.
+
+    ``guaranteed`` means every fault of the class is detected for every
+    geometry/content; ``vacuous`` marks classes that are empty at the
+    analysis width (e.g. intra-word pairs at width 1).  ``cases`` is
+    the number of abstract scenarios replayed.
+    """
+
+    name: str
+    guaranteed: bool
+    vacuous: bool = False
+    cases: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CoveragePrediction:
+    """Per-class claims for one test at one analysis width."""
+
+    test: str
+    width: int
+    classes: dict[str, ClassPrediction] = field(default_factory=dict)
+
+    @property
+    def claims(self) -> frozenset[str]:
+        """Universe classes guaranteed 100 % (vacuous counts)."""
+        return frozenset(
+            name
+            for name, pred in self.classes.items()
+            if pred.guaranteed or pred.vacuous
+        )
+
+    @property
+    def claim_kinds(self) -> frozenset[str]:
+        """Catalog-level fault kinds whose every universe class is
+        claimed (``CFin`` needs both ``CFin-intra`` and ``CFin-inter``)."""
+        claims = self.claims
+        return frozenset(
+            kind
+            for kind, classes in CLAIM_CLASSES.items()
+            if all(name in claims for name in classes)
+        )
+
+    def describe(self) -> str:
+        claimed = sorted(self.claim_kinds)
+        return (
+            f"{self.test or '<test>'} @ width {self.width}: "
+            f"guaranteed {', '.join(claimed) if claimed else '(none)'}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bit signatures and abstract replay
+# ---------------------------------------------------------------------------
+
+_Plan = list[list[tuple[bool, bool, Mask]]]
+
+
+def _op_plan(test: MarchTest) -> _Plan:
+    """Per element: ``(is_read, relative, mask)`` for every op."""
+    return [
+        [(op.is_read, op.data.relative, op.data.mask) for op in element.ops]
+        for element in test.elements
+    ]
+
+
+def _signatures(plan: _Plan, width: int) -> dict[tuple[int, ...], list[int]]:
+    """Distinct per-bit mask streams -> the bit positions showing them.
+
+    Two bit positions with the same signature are indistinguishable to
+    the test, so one abstract replay covers both.  Uniform-mask tests
+    (the whole catalog) collapse to a single signature at any width.
+    """
+    flat_masks = [mask for steps in plan for (_, _, mask) in steps]
+    sigs: dict[tuple[int, ...], list[int]] = {}
+    for position in range(width):
+        sig = tuple(mask.bit_at(position) for mask in flat_masks)
+        sigs.setdefault(sig, []).append(position)
+    return sigs
+
+
+def _lane_plan(plan: _Plan, lane_sigs: Sequence[tuple[int, ...]]) -> _Plan:
+    """Concretize the op plan onto local bit lanes: lane ``k`` of the
+    abstract word carries signature ``lane_sigs[k]``."""
+    out: _Plan = []
+    index = 0
+    for steps in plan:
+        concrete = []
+        for is_read, relative, _mask in steps:
+            value = 0
+            for lane, sig in enumerate(lane_sigs):
+                value |= sig[index] << lane
+            concrete.append((is_read, relative, value))
+            index += 1
+        out.append(concrete)
+    return out
+
+
+def _escapes(
+    test: MarchTest,
+    lane_plan: _Plan,
+    fault: Fault,
+    n_words: int,
+    width: int,
+    contents: Sequence[int],
+) -> bool:
+    """Abstract compare-oracle replay on the fault's support words.
+
+    Mirrors the reference engine exactly: per element, per address in
+    element order, expected read = ``snapshot ^ mask`` (relative) or
+    ``mask`` (absolute), derived write = ``last_raw ^ last_mask ^
+    mask`` within the element visit.  Returns True when the fault
+    *escapes* (no read ever mismatches).
+    """
+    memory = FaultyMemory(n_words, width, [fault])
+    memory.load(list(contents))
+    snapshot = memory.snapshot()
+    for element, steps in zip(test.elements, lane_plan):
+        for addr in element.order.addresses(n_words):
+            last_raw: int | None = None
+            last_mask = 0
+            for is_read, relative, value in steps:
+                if is_read:
+                    raw = memory.read(addr)
+                    expected = (snapshot[addr] ^ value) if relative else value
+                    if raw != expected:
+                        return False
+                    last_raw, last_mask = raw, value
+                else:
+                    if relative:
+                        if last_raw is None:
+                            raise RuntimeError(
+                                "underivable write reached the abstract "
+                                "replay (validate first)"
+                            )
+                    memory.write(
+                        addr,
+                        (last_raw ^ last_mask ^ value) if relative else value,
+                    )
+    return True
+
+
+# One abstract scenario: a fault on a tiny support memory plus every
+# piece needed to replay and to explain an escape.
+_Case = tuple[Fault, tuple[tuple[int, ...], ...], int, tuple[int, ...]]
+
+
+def _word_contents(width: int) -> Iterator[tuple[int]]:
+    for value in range(1 << width):
+        yield (value,)
+
+
+def _pair_contents() -> Iterator[tuple[int, int]]:
+    return itertools.product((0, 1), repeat=2)  # type: ignore[return-value]
+
+
+def _single_cell_cases(
+    sig_list: Sequence[tuple[int, ...]], variants: Sequence[Fault]
+) -> Iterator[_Case]:
+    for sig in sig_list:
+        for fault in variants:
+            for contents in _word_contents(1):
+                yield fault, (sig,), 1, contents
+
+
+def _intra_pair_cases(
+    sigs: dict[tuple[int, ...], list[int]], cf_kind: str
+) -> Iterator[_Case]:
+    aggressor, victim = Cell(0, 0), Cell(0, 1)
+    for sig_a, sig_v in itertools.product(sigs, repeat=2):
+        if sig_a == sig_v and len(sigs[sig_a]) < 2:
+            continue  # needs two distinct positions with this signature
+        for fault in _cf_variants(aggressor, victim, cf_kind):
+            for contents in _word_contents(2):
+                yield fault, (sig_a, sig_v), 1, contents
+
+
+def _inter_pair_cases(
+    sig_list: Sequence[tuple[int, ...]], cf_kind: str
+) -> Iterator[_Case]:
+    # Both relative address orders: aggressor below and above the victim.
+    for sig in sig_list:
+        for aggressor, victim in ((Cell(0, 0), Cell(1, 0)), (Cell(1, 0), Cell(0, 0))):
+            for fault in _cf_variants(aggressor, victim, cf_kind):
+                for contents in _pair_contents():
+                    yield fault, (sig,), 2, contents
+
+
+def _af_cases(sig_list: Sequence[tuple[int, ...]]) -> Iterator[_Case]:
+    for sig in sig_list:
+        for contents in _word_contents(1):
+            yield AddressDecoderFault(0, "none"), (sig,), 1, contents
+        for addr, other in ((0, 1), (1, 0)):
+            for kind_code in ("other", "multi"):
+                fault = AddressDecoderFault(addr, kind_code, other)
+                for contents in _pair_contents():
+                    yield fault, (sig,), 2, contents
+
+
+def _cf_variants(aggressor: Cell, victim: Cell, cf_kind: str) -> list[Fault]:
+    if cf_kind == "CFst":
+        return [
+            StateCouplingFault(aggressor, victim, y, x)
+            for y, x in itertools.product((0, 1), repeat=2)
+        ]
+    if cf_kind == "CFid":
+        return [
+            IdempotentCouplingFault(aggressor, victim, rising, x)
+            for rising, x in itertools.product((True, False), (0, 1))
+        ]
+    return [
+        InversionCouplingFault(aggressor, victim, rising)
+        for rising in (True, False)
+    ]
+
+
+def _predict_class(
+    test: MarchTest, plan: _Plan, name: str, cases: Iterable[_Case]
+) -> ClassPrediction:
+    lane_plans: dict[tuple, _Plan] = {}
+    count = 0
+    for fault, lane_sigs, n_words, contents in cases:
+        count += 1
+        lane_plan = lane_plans.get(lane_sigs)
+        if lane_plan is None:
+            lane_plan = lane_plans.setdefault(lane_sigs, _lane_plan(plan, lane_sigs))
+        if _escapes(test, lane_plan, fault, n_words, len(lane_sigs), contents):
+            return ClassPrediction(
+                name,
+                guaranteed=False,
+                cases=count,
+                reason=(
+                    f"escapes: {fault.describe()} with initial support "
+                    f"content {tuple(contents)}"
+                ),
+            )
+    return ClassPrediction(
+        name, guaranteed=True, cases=count, reason=f"all {count} cases detected"
+    )
+
+
+def predict_coverage(test: MarchTest, *, width: int = 8) -> CoveragePrediction:
+    """Static coverage claims for *test* at the given analysis width.
+
+    Width matters only through the set of distinct bit signatures (and
+    whether intra-word pairs exist at all): uniform-mask tests predict
+    identically at every width, and ``width=1`` yields the classic
+    bit-oriented claims the catalog metadata speaks about.
+    """
+    plan = _op_plan(test)
+    if test.is_transparent_form:
+        report = validate_transparent(test)
+    elif test.is_solid_form:
+        report = validate_solid(test)
+    else:
+        report = None
+    if report is None or not report.ok:
+        why = "mixed-form test" if report is None else report.problems[0]
+        classes = {
+            name: ClassPrediction(
+                name, guaranteed=False, reason=f"ill-formed test: {why}"
+            )
+            for name in UNIVERSE_CLASSES
+        }
+        return CoveragePrediction(test.name, width, classes)
+
+    sigs = _signatures(plan, width)
+    sig_list = list(sigs)
+    cell = Cell(0, 0)
+    classes: dict[str, ClassPrediction] = {}
+
+    classes["SAF"] = _predict_class(
+        test,
+        plan,
+        "SAF",
+        _single_cell_cases(
+            sig_list, [StuckAtFault(cell, 0), StuckAtFault(cell, 1)]
+        ),
+    )
+    classes["TF"] = _predict_class(
+        test,
+        plan,
+        "TF",
+        _single_cell_cases(
+            sig_list,
+            [TransitionFault(cell, rising=True), TransitionFault(cell, rising=False)],
+        ),
+    )
+    for cf_kind in ("CFst", "CFid", "CFin"):
+        intra_name = f"{cf_kind}-intra"
+        if width < 2:
+            classes[intra_name] = ClassPrediction(
+                intra_name,
+                guaranteed=False,
+                vacuous=True,
+                reason="no intra-word bit pairs at width 1",
+            )
+        else:
+            classes[intra_name] = _predict_class(
+                test, plan, intra_name, _intra_pair_cases(sigs, cf_kind)
+            )
+        inter_name = f"{cf_kind}-inter"
+        classes[inter_name] = _predict_class(
+            test, plan, inter_name, _inter_pair_cases(sig_list, cf_kind)
+        )
+    classes["RDF"] = _predict_class(
+        test,
+        plan,
+        "RDF",
+        _single_cell_cases(sig_list, [ReadDisturbFault(cell, deceptive=False)]),
+    )
+    classes["DRDF"] = _predict_class(
+        test,
+        plan,
+        "DRDF",
+        _single_cell_cases(sig_list, [ReadDisturbFault(cell, deceptive=True)]),
+    )
+    classes["AF"] = _predict_class(test, plan, "AF", _af_cases(sig_list))
+    return CoveragePrediction(test.name, width, classes)

@@ -268,6 +268,79 @@ class TestValidate:
         assert main(["validate", "nonsense"]) == 2
         assert "parse error" in capsys.readouterr().err
 
+    def test_transparent_runs_execution_check(self, capsys):
+        assert main(["validate", "⇕(rc,w~c); ⇕(r~c,wc)"]) == 0
+        assert "randomized trials" in capsys.readouterr().out
+
+    def test_non_restoring_test_caught_structurally(self, capsys):
+        # The structural validator is sound, so it rejects a
+        # non-restoring test before the execution check even runs.
+        assert main(["validate", "⇕(rc,w~c)"]) == 1
+        assert "not transparent" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_catalog_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: 0 error" in out
+        assert "[M020]" in out
+
+    def test_single_test(self, capsys):
+        assert main(["lint", "March C-"]) == 0
+        out = capsys.readouterr().out
+        assert "TCM=35n" in out
+        assert "March C-" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", "--notation", "⇕(w0); ⇑(r1,w1)"]) == 1
+        assert "[M003]" in capsys.readouterr().out
+
+    def test_fail_on_info_gates_informational_output(self, capsys):
+        assert main(["lint", "March C-", "--fail-on", "info"]) == 1
+
+    def test_severity_filters_display_only(self, capsys):
+        assert main(["lint", "March C-", "--severity", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "[M020]" not in out
+        assert "lint: 0 error, 0 warning, 0 info" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "March C-", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0
+        assert any(d["rule"] == "M040" for d in payload["diagnostics"])
+
+    def test_explicit_rule_selection(self, capsys):
+        assert main(["lint", "March C-", "--rules", "M020,I010"]) == 0
+        out = capsys.readouterr().out
+        assert "[M020]" in out
+        assert "[I010]" in out
+        assert "[M040]" not in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rules", "M999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exec_rule_opt_in_finds_transparency_violation(self, capsys):
+        code = main(["lint", "--notation", "⇕(rc,w~c)", "--rules", "X001"])
+        assert code == 1
+        assert "transparency violated" in capsys.readouterr().out
+
+    def test_unknown_test_exits_two(self, capsys):
+        assert main(["lint", "March Z"]) == 2
+        assert "March Z" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, capsys):
+        assert main(["lint", "--notation", "nonsense"]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_name_and_notation_conflict(self, capsys):
+        assert main(["lint", "MATS", "--notation", "⇕(w0)"]) == 2
+        assert "not both" in capsys.readouterr().err
+
 
 def test_requires_command():
     with pytest.raises(SystemExit):

@@ -1,0 +1,120 @@
+"""Tests for tools/detlint.py — the engine-tree determinism lint."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import detlint  # noqa: E402
+
+
+def _rules(source):
+    return [d.rule for d in detlint.lint_source(source)]
+
+
+class TestUnseededRandom:
+    def test_flags_global_generator_calls(self):
+        assert _rules("import random\nx = random.random()\n") == ["DET001"]
+        assert _rules("import random\nrandom.shuffle(items)\n") == ["DET001"]
+
+    def test_allows_seeded_instances(self):
+        source = "import random\nrng = random.Random(7)\nrng.shuffle(items)\n"
+        assert _rules(source) == []
+
+
+class TestSetIteration:
+    def test_flags_for_loops_and_comprehensions(self):
+        assert _rules("for x in {1, 2}:\n    pass\n") == ["DET002"]
+        assert _rules("out = [v for v in set(items)]\n") == ["DET002"]
+        expected = ["DET002"]
+        assert _rules("out = sorted(x for x in frozenset(items))\n") == expected
+
+    def test_allows_sorted_views(self):
+        assert _rules("for x in sorted({1, 2}):\n    pass\n") == []
+        assert _rules("for x in [1, 2]:\n    pass\n") == []
+
+
+class TestWallClock:
+    def test_flags_wall_clock_reads(self):
+        assert _rules("import time\nt = time.time()\n") == ["DET003"]
+        assert _rules("import time\nt = time.time_ns()\n") == ["DET003"]
+        source = "from datetime import datetime\nnow = datetime.now()\n"
+        assert _rules(source) == ["DET003"]
+
+    def test_allows_monotonic_timing(self):
+        source = (
+            "import time\n"
+            "t0 = time.monotonic()\n"
+            "t1 = time.perf_counter()\n"
+            "time.sleep(0.1)\n"
+        )
+        assert _rules(source) == []
+
+
+class TestHardExit:
+    def test_flags_os_exit(self):
+        assert _rules("import os\nos._exit(1)\n") == ["DET004"]
+
+    def test_allows_chaos_module(self):
+        diags = detlint.lint_source(
+            "import os\nos._exit(13)\n", path="src/repro/engine/chaos.py"
+        )
+        assert diags == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_one_rule(self):
+        source = "import random\nx = random.random()  # detlint: ignore[DET001]\n"
+        assert _rules(source) == []
+
+    def test_ignore_lists_multiple_ids(self):
+        source = (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # detlint: ignore[DET001, DET003]\n"
+        )
+        assert _rules(source) == []
+
+    def test_ignore_of_other_rule_does_not_silence(self):
+        source = "import random\nx = random.random()  # detlint: ignore[DET002]\n"
+        assert _rules(source) == ["DET001"]
+
+
+class TestCli:
+    def test_engine_tree_is_clean(self, capsys):
+        engine = REPO_ROOT / "src" / "repro" / "engine"
+        assert detlint.main([str(engine)]) == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert detlint.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET003" in out
+        assert "bad.py:2" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import os\nos._exit(1)\n")
+        assert detlint.main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["rule"] == "DET004"
+
+    def test_missing_path_exit_two(self, tmp_path, capsys):
+        assert detlint.main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_registry_has_four_rules(self):
+        registry = detlint.registry()
+        assert [rule.id for rule in registry.select()] == [
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+        ]
+        assert all(rule.layer == "det" for rule in registry)

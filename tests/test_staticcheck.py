@@ -1,0 +1,262 @@
+"""Tests for the static analysis subsystem: diagnostics core, march-
+and IR-level rules, and the lint driver."""
+
+import json
+
+import pytest
+
+from repro.core.notation import parse_march
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.staticcheck import (
+    Diagnostic,
+    Location,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+    filter_severity,
+    lint_catalog,
+    lint_test,
+    max_severity,
+    render_json,
+    render_text,
+    severity_counts,
+)
+
+
+def _diags(notation, **kwargs):
+    return lint_test(parse_march(notation, name="t"), **kwargs)
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestSeverity:
+    def test_ordering_gates(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse_round_trips(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+        assert Severity.parse(" Error ") is Severity.ERROR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestLocation:
+    def test_render_test_coordinates(self):
+        assert Location("March X", element=2, op=1).render() == "March X e2.op1"
+        assert Location("March X").render() == "March X"
+
+    def test_render_file_coordinates(self):
+        assert Location("a.py", line=7, col=3).render() == "a.py:7:3"
+
+    def test_dict_round_trip_omits_nones(self):
+        loc = Location("t", element=1)
+        data = loc.to_dict()
+        assert data == {"subject": "t", "element": 1}
+        assert Location.from_dict(data) == loc
+
+
+class TestDiagnostic:
+    def test_render(self):
+        d = Diagnostic("M003", Severity.ERROR, "boom", Location("t", 0, 1))
+        assert d.render() == "t e0.op1: error[M003] boom"
+
+    def test_json_round_trip(self):
+        d = Diagnostic("I001", Severity.WARNING, "msg", Location("t"))
+        assert Diagnostic.from_dict(json.loads(json.dumps(d.to_dict()))) == d
+
+
+class TestRuleRegistry:
+    def test_duplicate_id_collides(self):
+        registry = RuleRegistry()
+        registry.register(Rule("R1", "one", Severity.INFO, "s"))
+        with pytest.raises(ValueError, match="duplicate rule id 'R1'"):
+            registry.register(Rule("R1", "other", Severity.ERROR, "s"))
+
+    def test_unknown_rule_names_known_ones(self):
+        registry = RuleRegistry()
+        registry.register(Rule("R1", "one", Severity.INFO, "s"))
+        with pytest.raises(ValueError, match="known rules: R1"):
+            registry.get("R9")
+
+    def test_select_by_id_and_layer(self):
+        registry = RuleRegistry()
+        registry.register(Rule("B2", "b", Severity.INFO, "s", layer="ir"))
+        registry.register(Rule("A1", "a", Severity.INFO, "s", layer="march"))
+        assert [r.id for r in registry.select()] == ["A1", "B2"]
+        assert [r.id for r in registry.select(layers=["ir"])] == ["B2"]
+        assert [r.id for r in registry.select(["B2", "A1"])] == ["A1", "B2"]
+
+    def test_default_registry_layers(self):
+        registry = default_registry()
+        layers = {rule.layer for rule in registry}
+        assert layers == {"march", "ir", "exec"}
+        assert "M001" in registry
+        assert "X001" in registry
+
+
+class TestHelpers:
+    def _mixed(self):
+        return [
+            Diagnostic("A", Severity.INFO, "i"),
+            Diagnostic("B", Severity.ERROR, "e"),
+            Diagnostic("C", Severity.WARNING, "w"),
+        ]
+
+    def test_filter_and_max(self):
+        diags = self._mixed()
+        assert _rules(filter_severity(diags, Severity.WARNING)) == {"B", "C"}
+        assert max_severity(diags) is Severity.ERROR
+        assert max_severity([]) is None
+
+    def test_counts_and_renderers(self):
+        diags = self._mixed()
+        assert severity_counts(diags) == {"error": 1, "warning": 1, "info": 1}
+        text = render_text(diags)
+        assert text.endswith("lint: 1 error, 1 warning, 1 info")
+        payload = json.loads(render_json(diags))
+        assert payload["counts"]["error"] == 1
+        assert len(payload["diagnostics"]) == 3
+
+
+class TestWellFormednessRules:
+    def test_mixed_form(self):
+        diags = _diags("⇕(w0); ⇕(rc)")
+        assert "M001" in _rules(diags)
+
+    def test_read_before_write(self):
+        assert "M002" in _rules(_diags("⇕(r0,w0)"))
+
+    def test_read_mismatch_location(self):
+        diags = [d for d in _diags("⇕(w0); ⇑(r1,w1)") if d.rule == "M003"]
+        assert len(diags) == 1
+        assert diags[0].location.element == 1
+        assert diags[0].location.op == 0
+
+    def test_underivable_write(self):
+        assert "M004" in _rules(_diags("⇕(w~c); ⇕(rc)"))
+
+    def test_phase_mismatch(self):
+        assert "M005" in _rules(_diags("⇕(rc,w~c); ⇕(rc,wc)"))
+
+    def test_transparency_residue(self):
+        assert "M006" in _rules(_diags("⇕(rc,w~c)"))
+
+    def test_agrees_with_validate_over_catalog(self):
+        hard = {"M001", "M002", "M003", "M004", "M005", "M006"}
+        for name in catalog.names():
+            diags = lint_test(catalog.get(name))
+            assert not (_rules(diags) & hard)
+            assert max_severity(diags) is Severity.INFO
+
+
+class TestDeadOpRules:
+    def test_noop_write(self):
+        diags = [d for d in _diags("⇕(w0); ⇑(r0,w0)") if d.rule == "M010"]
+        assert len(diags) == 1
+        assert "WDF" in diags[0].message
+
+    def test_unread_write_overwritten_and_trailing(self):
+        diags = [d for d in _diags("⇕(w0,w1); ⇕(r1,w0)") if d.rule == "M011"]
+        messages = [d.message for d in diags]
+        assert len(diags) == 2
+        assert any("overwritten" in m for m in messages)
+        assert any("never read back" in m for m in messages)
+
+    def test_repeated_read(self):
+        assert "M012" in _rules(_diags("⇕(w0); ⇕(r0,r0)"))
+        assert "M012" not in _rules(_diags("⇕(w0); ⇕(r0,w1,r1)"))
+
+    def test_dead_op_rules_skip_ill_formed_tests(self):
+        diags = _diags("⇕(r0,r0)")
+        assert "M012" not in _rules(diags)
+        assert "M002" in _rules(diags)
+
+
+class TestAccountingRules:
+    def test_complexity_matches_paper_formulas(self):
+        diags = [
+            d
+            for d in lint_test(catalog.get("March C-"), width=32)
+            if d.rule == "M020"
+        ]
+        assert len(diags) == 1
+        assert "TCM=35n" in diags[0].message
+        assert "TCP=21n" in diags[0].message
+
+    def test_symmetry_hint_on_odd_reads(self):
+        twm = twm_transform(catalog.get("MATS"), 8).twmarch
+        diags = lint_test(twm, width=8)
+        assert ("M030" in _rules(diags)) == (twm.n_reads % 2 == 1)
+
+    def test_coverage_claims_reported(self):
+        diags = [d for d in lint_test(catalog.get("March C-")) if d.rule == "M040"]
+        assert len(diags) == 1
+        assert "CFst" in diags[0].message
+
+    def test_catalog_claim_drift_fires_on_false_metadata(self):
+        from repro.library.catalog import CatalogEntry
+
+        entry = CatalogEntry(
+            parse_march("⇕(w0); ⇕(r0)", "weak"), "ref", frozenset({"TF"})
+        )
+        diags = lint_test(entry.test, entry=entry)
+        drift = [d for d in diags if d.rule == "M041"]
+        assert len(drift) == 1
+        assert drift[0].severity is Severity.ERROR
+        assert "cannot guarantee" in drift[0].message
+
+
+class TestIrRules:
+    def test_ir_stats_emitted(self):
+        diags = [d for d in lint_test(catalog.get("March C-")) if d.rule == "I010"]
+        assert len(diags) == 1
+        assert "10 steps (5 reads)" in diags[0].message
+
+    def test_degenerate_background_warns_at_narrow_width(self):
+        twm = twm_transform(catalog.get("March C-"), 32).twmarch
+        wide = lint_test(twm, width=32)
+        narrow = lint_test(twm, width=4)
+        assert "I003" not in _rules(wide)
+        assert "I003" in _rules(narrow)
+
+    def test_unresolvable_mask_when_compilation_fails(self):
+        bitty = parse_march("⇕(rc,wc^e3); ⇕(rc^e3,wc)", name="bitty")
+        diags = lint_test(bitty, width=2)
+        bad = [d for d in diags if d.rule == "I005"]
+        assert len(bad) == 2
+        assert all("compilation fails" in d.message for d in bad)
+        assert "I005" not in _rules(lint_test(bitty, width=8))
+
+    def test_catalog_ir_is_consistent(self):
+        for name in catalog.names():
+            assert not (_rules(lint_test(catalog.get(name))) & {"I001", "I002"})
+
+
+class TestLintDriver:
+    def test_explicit_rule_selection(self):
+        diags = lint_test(catalog.get("March C-"), rules=["M020"])
+        assert _rules(diags) == {"M020"}
+
+    def test_unknown_rule_is_usage_error(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_test(catalog.get("March C-"), rules=["M999"])
+
+    def test_exec_rules_excluded_by_default_but_selectable(self):
+        flips = parse_march("⇕(rc,w~c)", name="flips")
+        assert "X001" not in _rules(lint_test(flips))
+        diags = lint_test(flips, rules=["X001"])
+        assert _rules(diags) == {"X001"}
+        assert "transparency violated" in diags[0].message
+
+    def test_catalog_lint_is_error_free(self):
+        diags = lint_catalog()
+        assert diags
+        worst = max_severity(diags)
+        assert worst is not None and worst < Severity.ERROR

@@ -1,0 +1,228 @@
+"""Tests for the static coverage predictor, the catalog claim audit,
+and the synthesis prescreen fast path.
+
+The load-bearing gates live here: every catalog ``detects`` claim must
+be implied by the predictor AND confirmed at 100 % by a real engine
+campaign (``TestCatalogAudit``), and the prescreen's closed-form
+claims must agree with the predictor over an enumerated candidate
+swarm (``TestPrescreenAgreement``)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis import audit_catalog, audit_entry
+from repro.core.notation import parse_march
+from repro.core.twm import twm_transform
+from repro.library import catalog
+from repro.staticcheck import (
+    CLAIM_CLASSES,
+    UNIVERSE_CLASSES,
+    predict_coverage,
+    prescreen,
+)
+
+
+class TestPredictor:
+    def test_march_cminus_bit_oriented_claims(self):
+        prediction = predict_coverage(catalog.get("March C-"), width=1)
+        assert {"SAF", "TF", "CFst", "CFid", "CFin", "RDF", "AF"} <= (
+            prediction.claim_kinds
+        )
+        assert "DRDF" not in prediction.claim_kinds
+
+    def test_intra_classes_vacuous_at_width_one(self):
+        prediction = predict_coverage(catalog.get("March C-"), width=1)
+        for name in ("CFst-intra", "CFid-intra", "CFin-intra"):
+            assert prediction.classes[name].vacuous
+
+    def test_solid_uniform_tests_lose_intra_coupling_at_width(self):
+        # The paper's motivation for checker backgrounds: same-word
+        # bit pairs always hold equal content under uniform data, so
+        # state/idempotent coupling between them escapes.
+        prediction = predict_coverage(catalog.get("March C-"), width=8)
+        assert not prediction.classes["CFst-intra"].guaranteed
+        assert "escapes" in prediction.classes["CFst-intra"].reason
+        assert not prediction.classes["CFid-intra"].guaranteed
+        # Inversion coupling is content-independent and survives.
+        assert prediction.classes["CFin-intra"].guaranteed
+
+    def test_checker_backgrounds_cover_one_orientation_only(self):
+        # The D_k backgrounds distinguish every bit pair in ONE
+        # orientation (bit 0 is 1 in every checker pattern), so even
+        # the TWM transform cannot guarantee state/idempotent intra
+        # coupling in both aggressor/victim orders — a real escape the
+        # batch engine confirms at ~75% / ~67% coverage.
+        twm = twm_transform(catalog.get("March C-"), 8).twmarch
+        prediction = predict_coverage(twm, width=8)
+        assert not prediction.classes["CFst-intra"].guaranteed
+        assert not prediction.classes["CFid-intra"].guaranteed
+        assert prediction.classes["CFin-intra"].guaranteed
+
+    def test_complement_backgrounds_restore_intra_state_coverage(self):
+        # Adding the complement phase ~D1 realizes both orientations
+        # of every bit pair at width 2; the predictor proves CFst-intra
+        # and the engine measures 100% (cross-checked when authored).
+        both = parse_march(
+            "⇕(rc,w~c); ⇑(r~c,wc); ⇑(rc,wc^D1); ⇓(rc^D1,wc^~D1); "
+            "⇓(rc^~D1,wc); ⇕(rc)",
+            name="both-orientations",
+        )
+        prediction = predict_coverage(both, width=2)
+        assert prediction.classes["CFst-intra"].guaranteed
+        assert prediction.classes["CFin-intra"].guaranteed
+
+    def test_ill_formed_test_claims_nothing(self):
+        prediction = predict_coverage(parse_march("⇕(r0,w0)", "bad"), width=1)
+        assert not prediction.claims
+        assert "ill-formed" in prediction.classes["SAF"].reason
+
+    def test_every_universe_class_judged(self):
+        prediction = predict_coverage(catalog.get("MATS"), width=4)
+        assert set(prediction.classes) == set(UNIVERSE_CLASSES)
+
+    def test_claim_kinds_cover_all_metadata_kinds(self):
+        judged = {name for kinds in CLAIM_CLASSES.values() for name in kinds}
+        assert judged == set(UNIVERSE_CLASSES)
+
+
+class TestCatalogAudit:
+    def test_all_catalog_claims_predicted_and_engine_confirmed(self):
+        # The PR's acceptance gate: predictor implies every detects
+        # claim, and the batch engine confirms 100 % on every class
+        # the predictor guarantees (full universe incl. RDF/DRDF/AF).
+        results = audit_catalog()
+        assert len(results) == len(catalog.names())
+        failures = [r.render() for r in results if not r.ok]
+        assert not failures, "\n".join(failures)
+
+    def test_audit_catches_overclaiming_metadata(self):
+        from repro.library.catalog import CatalogEntry
+
+        entry = CatalogEntry(
+            parse_march("⇕(w0); ⇕(r0)", "weak"), "ref", frozenset({"CFst"})
+        )
+        result = audit_entry(entry)
+        assert not result.ok
+        assert any("CFst" in p for p in result.problems)
+        assert "FAIL" in result.render()
+
+    def test_audit_result_reports_engine_percentages(self):
+        result = audit_entry(catalog.entry("MATS"))
+        assert result.ok
+        assert result.engine_percent["SAF"] == 100.0
+        assert set(result.claimed) == {"SAF"}
+        assert "SAF" in result.predicted
+
+
+class TestPrescreen:
+    def test_accepts_catalog_tests_with_claims(self):
+        for name in catalog.names():
+            result = prescreen(catalog.get(name))
+            assert result.ok, (name, result.reasons)
+            assert "SAF" in result.claims
+            assert "RDF" in result.claims
+
+    def test_rejects_structural_violations_with_reasons(self):
+        cases = {
+            "⇕(r0,w0)": "read before any write",
+            "⇕(w0); ⇕(r1)": "read expectation != tracked content",
+            "⇕(w~c); ⇕(rc)": "underivable write",
+            "⇕(rc,w~c)": "nonzero net content change",
+            "⇕(w0); ⇕(rc)": "mixed form",
+        }
+        for notation, fragment in cases.items():
+            result = prescreen(parse_march(notation, "bad"))
+            assert not result
+            assert any(fragment in r for r in result.reasons), (
+                notation,
+                result.reasons,
+            )
+
+    def test_rejects_empty_test(self):
+        # The public constructors refuse empty tests, so the prescreen
+        # guard is defensive; drive it with a structural stand-in.
+        from types import SimpleNamespace
+
+        result = prescreen(SimpleNamespace(elements=()))
+        assert not result
+        assert "empty test" in result.reasons[0]
+
+    def test_tf_requires_both_transitions_observed(self):
+        # Rising transition read back, but never a falling one.
+        up_only = prescreen(parse_march("⇕(w0); ⇕(r0,w1); ⇕(r1)", "up"))
+        assert "TF" not in up_only.claims
+        both = prescreen(parse_march("⇕(w0); ⇕(r0,w1); ⇕(r1,w0); ⇕(r0)", "b"))
+        assert "TF" in both.claims
+
+    def test_drdf_needs_back_to_back_reads(self):
+        assert "DRDF" in prescreen(catalog.get("March SS")).claims
+        assert "DRDF" not in prescreen(catalog.get("MATS+")).claims
+
+    def test_non_uniform_masks_claim_nothing(self):
+        twm = twm_transform(catalog.get("March C-"), 8).twmarch
+        result = prescreen(twm)
+        assert result.ok
+        assert not result.uniform
+        assert not result.claims
+
+    def test_score_orders_by_claims_then_cost(self):
+        strong = prescreen(catalog.get("March C-"))
+        weak = prescreen(catalog.get("MATS"))
+        assert strong.score > weak.score
+
+
+def _enumerate_candidates(alphabet, rng, keep=0.004, max_ops=3):
+    seqs = []
+    for n in range(1, max_ops + 1):
+        seqs.extend(itertools.product(alphabet, repeat=n))
+    elements = [
+        f"{order}({','.join(seq)})"
+        for order in ("up", "down", "any")
+        for seq in seqs
+    ]
+    for count in (1, 2):
+        for combo in itertools.product(elements, repeat=count):
+            if rng.random() < keep:
+                yield parse_march("; ".join(combo), name="cand")
+
+
+class TestPrescreenAgreement:
+    """Lock the prescreen to its two ground truths over a sampled
+    bounded-exhaustive candidate swarm: the validators (accept/reject)
+    and the abstract-replay predictor (single-cell claims)."""
+
+    @pytest.mark.parametrize(
+        "alphabet,keep",
+        [
+            (("r0", "r1", "w0", "w1"), 0.004),
+            # Valid transparent candidates are rarer (per-element
+            # read-before-write plus zero net delta), so sample more.
+            (("rc", "r~c", "wc", "w~c"), 0.03),
+        ],
+        ids=["solid", "transparent"],
+    )
+    def test_matches_validators_and_predictor(self, alphabet, keep):
+        from repro.core.validate import validate_solid, validate_transparent
+
+        rng = random.Random(42)
+        checked = 0
+        for test in _enumerate_candidates(alphabet, rng, keep=keep):
+            result = prescreen(test)
+            if test.is_transparent_form:
+                valid = validate_transparent(test).ok
+            else:
+                valid = validate_solid(test).ok
+            assert result.ok == valid, test.describe()
+            if not result.ok:
+                continue
+            prediction = predict_coverage(test, width=1)
+            expected = {
+                kind
+                for kind in ("SAF", "TF", "RDF", "DRDF")
+                if kind in prediction.claim_kinds
+            }
+            assert set(result.claims) == expected, test.describe()
+            checked += 1
+        assert checked >= 20

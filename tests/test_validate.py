@@ -82,3 +82,30 @@ class TestDynamicCheck:
     def test_respects_dimensions(self):
         t = twm_transform(catalog.get("March C-"), 4).twmarch
         assert check_transparency_by_execution(t, n_words=3, width=4, trials=2)
+
+    def test_structured_result_on_pass(self):
+        t = parse_march("⇕(rc,w~c); ⇕(r~c,wc)", name="good")
+        check = check_transparency_by_execution(t, n_words=4, width=4)
+        assert check.ok
+        assert check.violation is None
+        assert check.diagnostic() is None
+        assert check.test_name == "good"
+        assert "3 randomized trials" in str(check)
+
+    def test_structured_result_on_failure(self):
+        t = parse_march("⇕(rc,w~c)", name="flips")
+        check = check_transparency_by_execution(t, n_words=4, width=4)
+        assert not check.ok
+        assert not check
+        violation = check.violation
+        assert violation.trial == 0
+        assert 0 <= violation.address < 4
+        assert violation.after == violation.before ^ 0xF
+
+    def test_failure_converts_to_diagnostic(self):
+        t = parse_march("⇕(rc,w~c)", name="flips")
+        diagnostic = check_transparency_by_execution(t).diagnostic()
+        assert diagnostic.rule == "X001"
+        assert diagnostic.severity.name == "ERROR"
+        assert "transparency violated" in diagnostic.message
+        assert diagnostic.location.subject == "flips"
