@@ -30,7 +30,13 @@ the committed baseline and fails when:
   (``checks.chaos_recovered`` / ``recovered_bit_identical`` false), or
   recovery silently degraded chunks to in-process execution instead of
   re-dispatching them.  Skipped with a note when the fresh run carries
-  no chaos leg (pre-supervision bench).
+  no chaos leg (pre-supervision bench);
+* with ``--soak BENCH_soak.json``, the soak-runtime trajectory: the
+  sequential leg's ``scenarios_per_sec`` must stay at or above the
+  absolute ``--soak-floor`` (default 3.0/s), and every recovery check
+  (``deterministic``, ``reports_identical``, ``chaos_recovered``,
+  ``checkpoint_resume_identical``) must be true.  Skipped with a note
+  when ``--soak`` is not passed (pre-soak bench).
 
 The lease supervision on the *clean* path costs bounded bookkeeping
 per chunk (lease construction, deadline checks, ``connection.wait``
@@ -58,6 +64,16 @@ import sys
 DEFAULT_THRESHOLD = 0.7
 DEFAULT_JOBS_FLOOR = 1.2
 DEFAULT_MEGAWORD_FLOOR = 10.0
+DEFAULT_SOAK_FLOOR = 3.0
+
+# Every one of these must be true in BENCH_soak.json's checks block:
+# they are the soak runtime's recovery guarantees, not perf numbers.
+SOAK_CHECKS = (
+    "deterministic",
+    "reports_identical",
+    "chaos_recovered",
+    "checkpoint_resume_identical",
+)
 
 # The batch-vs-reference gate covers every oracle leg of the base
 # workload — signature and aliasing included, not just compare.
@@ -208,6 +224,31 @@ def check(
     return failures, notes
 
 
+def check_soak(
+    soak: dict, soak_floor: float = DEFAULT_SOAK_FLOOR
+) -> list[str]:
+    """Failures of the soak-runtime leg (``BENCH_soak.json``)."""
+    failures: list[str] = []
+    sequential = soak.get("legs", {}).get("sequential")
+    if sequential is None:
+        failures.append("soak: benchmark carries no sequential leg")
+    else:
+        value = sequential.get("scenarios_per_sec", 0.0)
+        if value < soak_floor:
+            failures.append(
+                f"soak: sequential throughput {value:.2f} scenarios/s is "
+                f"below the {soak_floor:.2f}/s floor"
+            )
+    checks = soak.get("checks", {})
+    for name in SOAK_CHECKS:
+        if not checks.get(name, False):
+            failures.append(
+                f"soak: checks.{name} is false — a recovery path is no "
+                "longer bit-identical"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -244,6 +285,20 @@ def main(argv: list[str] | None = None) -> int:
         "the megaword workload (default %(default)s; skipped when the "
         "baseline has no megaword leg)",
     )
+    parser.add_argument(
+        "--soak",
+        type=pathlib.Path,
+        default=None,
+        help="freshly produced BENCH_soak.json to gate alongside the "
+        "engine trajectory (default: soak leg skipped with a note)",
+    )
+    parser.add_argument(
+        "--soak-floor",
+        type=float,
+        default=DEFAULT_SOAK_FLOOR,
+        help="absolute minimum sequential scenarios/second of the soak "
+        "benchmark (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
@@ -252,6 +307,15 @@ def main(argv: list[str] | None = None) -> int:
         baseline, fresh, args.threshold, args.jobs_floor,
         args.megaword_floor,
     )
+    soak = None
+    if args.soak is None:
+        notes.append(
+            "no --soak benchmark passed: soak-runtime assertions not "
+            "gated (pre-soak bench?)"
+        )
+    else:
+        soak = json.loads(args.soak.read_text(encoding="utf-8"))
+        failures.extend(check_soak(soak, args.soak_floor))
 
     for key in ("speedup_batch_vs_reference", "speedup_jobs_vs_batch"):
         fresh_ratios = speedup_ratios(fresh, key)
@@ -277,6 +341,17 @@ def main(argv: list[str] | None = None) -> int:
             f"retries={ft.get('retries', 0)} "
             f"respawns={ft.get('respawns', 0)} "
             f"degraded={ft.get('degraded_chunks', 0)}"
+        )
+    if soak is not None:
+        sequential = soak.get("legs", {}).get("sequential", {})
+        soak_checks = soak.get("checks", {})
+        print(
+            "  soak (fresh): "
+            f"{sequential.get('scenarios_per_sec', 0.0):.2f} scenarios/s "
+            f"(floor {args.soak_floor:.2f}/s), "
+            + " ".join(
+                f"{name}={soak_checks.get(name)}" for name in SOAK_CHECKS
+            )
         )
     for note in notes:
         print(f"note: {note}")

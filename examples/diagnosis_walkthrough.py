@@ -7,9 +7,10 @@ walkthrough injects a spectrum of defects, runs the TWMarch session in
 record-collecting mode, and prints what the diagnosis engine concludes
 about each.
 
-Run:  python examples/diagnosis_walkthrough.py
+Run:  python examples/diagnosis_walkthrough.py [--seed N]
 """
 
+import argparse
 import random
 
 from repro import FaultyMemory, library, twm_transform
@@ -41,12 +42,19 @@ SCENARIOS = [
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=13,
+        help="seed of the random user content each scenario runs over",
+    )
+    args = parser.parse_args()
+
     result = twm_transform(library.get("March C-"), WIDTH)
     print(f"test: {result.twmarch.name} ({result.tcm} ops/word)\n")
     for label, faults, fill in SCENARIOS:
         memory = FaultyMemory(N_WORDS, WIDTH, faults)
         if fill is None:
-            memory.randomize(random.Random(13))
+            memory.randomize(random.Random(args.seed))
         else:
             memory.fill(fill)
         diagnosis = diagnose_memory(result.twmarch, memory)

@@ -1,72 +1,63 @@
 #!/usr/bin/env python3
 """Life-time scenario: periodic transparent testing in system idle time.
 
-Simulates the deployment the paper targets: an embedded memory serves a
-workload; whenever the system idles, the BIST advances a transparent
-test session (prediction phase, then test phase).  A system write
-invalidates the predicted signature, aborting the session — which is
-exactly why test length matters.  A quarter into the simulation a
-stuck-at defect appears; the report shows how quickly each scheme's
-periodic test catches it.
+Simulates the deployment the paper targets, through the ``repro.soak``
+runtime: an embedded memory serves a streaming LFSR workload; whenever
+the system idles, the BIST advances a transparent test session
+(prediction phase, then test phase), and a system write aborts the
+session — which is exactly why test length matters.  Faults arrive
+stochastically over the run (permanent, transient and intermittent
+episodes from a Poisson process) instead of one scripted defect, so
+each scheme reports a detection-*latency distribution* rather than a
+single number, plus missed transient windows, aliasing escapes and
+diagnosis accuracy.
 
-Run:  python examples/periodic_online_test.py
+The sweep compares the full March C- TWMarch against the short MATS+
+session at three idle budgets.  At the tight budget the long test is
+aborted more and detects later — the transparent-length argument of
+the paper, measured end to end.
+
+Run:  python examples/periodic_online_test.py [--seed N] [--cycles N]
 """
 
-import random
+import argparse
 
-from repro import (
-    FaultyMemory,
-    OnlineTestScheduler,
-    StuckAtFault,
-    library,
-    random_workload,
-    scheme1_transform,
-    twm_transform,
-)
-from repro.memory import Cell
-
-N_WORDS, WIDTH = 4, 32
-CYCLES = 60_000
-
-
-def simulate(label, test, prediction, idle_fraction):
-    memory = FaultyMemory(N_WORDS, WIDTH)
-    memory.randomize(random.Random(7))
-    scheduler = OnlineTestScheduler(
-        memory, test, prediction, ops_per_idle_cycle=2, rng=random.Random(1)
-    )
-    workload = random_workload(
-        N_WORDS, WIDTH, idle_fraction=idle_fraction, write_fraction=0.02
-    )
-    report = scheduler.run(
-        workload,
-        CYCLES,
-        fault_at=(
-            CYCLES // 4,
-            lambda mem: mem.inject(StuckAtFault(Cell(2, 9), 0)),
-        ),
-    )
-    latency = report.detection_latency
-    print(
-        f"  {label:<10} sessions={report.sessions_completed:<5} "
-        f"aborted={report.sessions_aborted:<5} "
-        f"detection latency={latency if latency is not None else 'MISSED'}"
-    )
+from repro.analysis.soak import render_soak_report
+from repro.soak import ArrivalSpec, SoakScenario, run_scenario
 
 
 def main() -> None:
-    march = library.get("March C-")
-    twm = twm_transform(march, WIDTH)
-    s1 = scheme1_transform(march, WIDTH)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=1,
+        help="scenario seed; every stream (memory content, traffic, "
+        "fault arrivals) derives from it, so runs are reproducible",
+    )
+    parser.add_argument("--cycles", type=int, default=60_000)
+    parser.add_argument("--words", type=int, default=8)
+    parser.add_argument("--width", type=int, default=32)
+    args = parser.parse_args()
 
-    print(f"memory: {N_WORDS} words x {WIDTH} bits, {CYCLES} cycles")
-    print(f"TWMarch session: {(twm.tcm + twm.tcp) * N_WORDS} ops")
-    print(f"Scheme 1 session: {(s1.tcm + s1.tcp) * N_WORDS} ops")
+    print(
+        f"memory: {args.words} words x {args.width} bits, "
+        f"{args.cycles} cycles, seed {args.seed}"
+    )
     print()
-    for idle in (0.95, 0.85, 0.7):
-        print(f"idle fraction {idle:.0%}:")
-        simulate("TWMarch", twm.twmarch, twm.prediction, idle)
-        simulate("Scheme 1", s1.transparent, s1.prediction, idle)
+    for idle_permille in (950, 850, 700):
+        print(f"idle fraction {idle_permille / 10:.0f}%:")
+        for test in ("March C-", "MATS+"):
+            scenario = SoakScenario(
+                name=f"{test} @ idle {idle_permille}",
+                test=test,
+                fallback_test=None,
+                n_words=args.words,
+                width=args.width,
+                cycles=args.cycles,
+                idle_permille=idle_permille,
+                arrival=ArrivalSpec(rate=2.0),
+                seed=args.seed,
+            )
+            print(render_soak_report(run_scenario(scenario)))
         print()
 
 

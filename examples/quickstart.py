@@ -10,9 +10,10 @@ Walks the paper's core flow end to end:
    the content is untouched;
 4. inject a stuck-at fault and run again — the signatures diverge.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--seed N]
 """
 
+import argparse
 import random
 
 from repro import (
@@ -27,6 +28,13 @@ from repro.memory import Cell
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=2025,
+        help="seed of the random user content the session runs over",
+    )
+    args = parser.parse_args()
+
     # 1. The bit-oriented starting point.
     march_cm = library.get("March C-")
     print(march_cm.describe())
@@ -41,7 +49,7 @@ def main() -> None:
 
     # 3. Fault-free session on random user data.
     memory = Memory(n_words=64, width=32)
-    memory.randomize(random.Random(2025))
+    memory.randomize(random.Random(args.seed))
     user_data = memory.snapshot()
 
     bist = TransparentBist.from_twm(result, misr_width=16)

@@ -10,9 +10,10 @@ Shows the mechanics the paper's schemes build on:
 * how narrow signature registers alias — the weakness that motivated
   the alias-free schemes ([9], [13]) the paper compares against.
 
-Run:  python examples/signature_bist_demo.py
+Run:  python examples/signature_bist_demo.py [--seed N]
 """
 
+import argparse
 import random
 
 from repro import (
@@ -31,11 +32,19 @@ N_WORDS, WIDTH = 16, 8
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed", type=int, default=3,
+        help="base seed; the content-independence and aliasing sweeps "
+        "derive their per-run seeds from it",
+    )
+    args = parser.parse_args()
+
     result = twm_transform(library.get("March C-"), WIDTH)
 
     # --- prediction mechanics -------------------------------------------
     memory = Memory(N_WORDS, WIDTH)
-    memory.randomize(random.Random(3))
+    memory.randomize(random.Random(args.seed))
     stream = read_stream(result.twmarch, memory)
     print(f"test phase produces {len(stream)} reads per session")
     print(f"first reads (raw): {[f'{v:02x}' for v in stream[:6]]}")
@@ -55,7 +64,8 @@ def main() -> None:
     # --- content independence --------------------------------------------
     print("signatures for different user contents (they differ — the")
     print("signature tracks the data — but prediction always matches):")
-    for seed in (1, 2, 3):
+    for offset in (1, 2, 3):
+        seed = args.seed + offset
         m = Memory(N_WORDS, WIDTH)
         m.randomize(random.Random(seed))
         o = bist.run(m)
@@ -74,7 +84,7 @@ def main() -> None:
         for addr in range(N_WORDS):
             for value in (0, 1):
                 m = FaultyMemory(N_WORDS, WIDTH, [StuckAtFault(Cell(addr, 3), value)])
-                m.randomize(random.Random(addr))
+                m.randomize(random.Random(args.seed + addr))
                 o = narrow.run(m)
                 detected += o.detected
                 aliased += o.aliased

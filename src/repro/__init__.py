@@ -23,7 +23,7 @@ Quickstart::
     assert not outcome.detected and outcome.transparent
 """
 
-from . import analysis, baselines, bist, core, ecc, engine, library, memory
+from . import analysis, baselines, bist, core, ecc, engine, library, memory, soak
 from .analysis import (
     compare_flow,
     compare_reports,
@@ -87,21 +87,34 @@ from .memory import (
     TransitionFault,
     standard_fault_universe,
 )
+from .soak import (
+    ArrivalSpec,
+    FaultTimeline,
+    LfsrWorkload,
+    SoakScenario,
+    SoakSchedule,
+    run_scenario,
+    run_soak_campaign,
+    scenario_matrix,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AddressOrder",
+    "ArrivalSpec",
     "BatchEngine",
     "Cell",
     "CodedMemory",
     "DataExpr",
     "Engine",
+    "FaultTimeline",
     "FaultyMemory",
     "HammingSEC",
     "HammingSECDED",
     "IdempotentCouplingFault",
     "InversionCouplingFault",
+    "LfsrWorkload",
     "MarchElement",
     "MarchProgram",
     "MarchTest",
@@ -113,6 +126,8 @@ __all__ = [
     "OpKind",
     "ParityCodec",
     "ReferenceEngine",
+    "SoakScenario",
+    "SoakSchedule",
     "StateCouplingFault",
     "StuckAtFault",
     "TomtBaseline",
@@ -145,8 +160,12 @@ __all__ = [
     "render_table",
     "run_campaign",
     "run_march",
+    "run_scenario",
+    "run_soak_campaign",
+    "scenario_matrix",
     "scheme1_transform",
     "signature_flow",
+    "soak",
     "state_sequence",
     "standard_fault_universe",
     "table1_rows",

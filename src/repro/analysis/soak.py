@@ -1,0 +1,159 @@
+"""Soak-report analysis: detection-latency distributions, escape and
+starvation accounting, matrix-level rendering.
+
+The detection-latency contract: for every fault episode a scenario
+reports either the exact cycle distance from arrival to the first
+signature-detecting session attributed to it, or an explicit miss
+(``missed_transient_windows`` for windows that closed untested,
+``missed`` overall).  Aliasing escapes — sessions whose streaming
+checker saw mismatches the MISR pair compacted away — are counted per
+scenario, and diagnosis accuracy reports how often the offline
+diagnosis pass localized the episode a detection was attributed to.
+Everything here is arithmetic over those per-scenario counters;
+nothing re-runs simulation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .reports import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..soak.campaign import SoakCampaignReport
+    from ..soak.scheduler import SoakReport
+
+
+def latency_stats(latencies: Sequence[int]) -> dict:
+    """Deterministic order statistics of a latency sample.
+
+    Percentiles use the nearest-rank method (no interpolation), so the
+    numbers are exact integers reproducible across platforms.
+    """
+    if not latencies:
+        return {"count": 0}
+    ordered = sorted(latencies)
+    n = len(ordered)
+
+    def rank(p: float) -> int:
+        index = max(0, min(n - 1, (p * n + 99) // 100 - 1))
+        return ordered[int(index)]
+
+    return {
+        "count": n,
+        "min": ordered[0],
+        "p50": rank(50),
+        "p90": rank(90),
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+    }
+
+
+def _latency_cell(report: "SoakReport") -> str:
+    stats = latency_stats(report.detection_latencies)
+    if not stats["count"]:
+        return "-"
+    return f"{stats['p50']}/{stats['p90']}"
+
+
+def scenario_row(report: "SoakReport") -> tuple:
+    accuracy = report.diagnosis_accuracy
+    return (
+        report.scenario,
+        report.arrivals,
+        report.detections,
+        report.missed,
+        report.missed_transient_windows,
+        _latency_cell(report),
+        report.aliasing_escapes,
+        report.starved_periods,
+        f"{accuracy:.0%}" if accuracy is not None else "-",
+        report.final_step,
+    )
+
+
+def render_soak_report(report: "SoakReport") -> str:
+    """One scenario, line oriented (the CI smoke leg greps these)."""
+    stats = latency_stats(report.detection_latencies)
+    lines = [
+        f"scenario {report.scenario}: {report.cycles} cycles, "
+        f"{report.idle_cycles} idle, {report.busy_writes} writes",
+        f"  sessions: {report.sessions_completed} completed, "
+        f"{report.sessions_aborted} aborted "
+        f"({report.aborted_in_prediction} in prediction, "
+        f"{report.aborted_in_test} in test), "
+        f"{report.sessions_detecting} detecting",
+        f"  episodes: {report.arrivals} arrived, "
+        f"{report.detections} detected, {report.missed} missed "
+        f"({report.missed_transient_windows} transient windows)",
+    ]
+    if stats["count"]:
+        lines.append(
+            f"  latency: min={stats['min']} p50={stats['p50']} "
+            f"p90={stats['p90']} max={stats['max']}"
+        )
+    else:
+        lines.append("  latency: no detections")
+    accuracy = report.diagnosis_accuracy
+    lines.append(
+        f"  escapes: {report.aliasing_escapes} aliased, "
+        f"{report.spurious_detections} spurious; "
+        f"diagnosis accuracy: "
+        + (f"{accuracy:.0%}" if accuracy is not None else "n/a")
+    )
+    lines.append(
+        f"  schedule: {report.periods} periods, "
+        f"{report.starved_periods} starved, "
+        f"{report.degradations} degradations, "
+        f"{report.recoveries} recoveries, final step {report.final_step}"
+    )
+    return "\n".join(lines)
+
+
+def render_soak_campaign(campaign: "SoakCampaignReport") -> str:
+    """The matrix table plus aggregate accounting lines."""
+    table = render_table(
+        [
+            "Scenario", "Arrived", "Detected", "Missed", "MissedTW",
+            "Latency p50/p90", "Escapes", "Starved", "DiagAcc", "Final step",
+        ],
+        [scenario_row(report) for report in campaign.reports],
+        title="Soak scenario matrix",
+    )
+    all_latencies = [
+        latency
+        for report in campaign.reports
+        for latency in report.detection_latencies
+    ]
+    stats = latency_stats(all_latencies)
+    lines = [table]
+    if stats["count"]:
+        lines.append(
+            f"aggregate latency ({stats['count']} detections): "
+            f"min={stats['min']} p50={stats['p50']} p90={stats['p90']} "
+            f"max={stats['max']} mean={stats['mean']:.1f}"
+        )
+    else:
+        lines.append("aggregate latency: no detections")
+    arrived = sum(r.arrivals for r in campaign.reports)
+    detected = sum(r.detections for r in campaign.reports)
+    escapes = sum(r.aliasing_escapes for r in campaign.reports)
+    starved = sum(r.starved_periods for r in campaign.reports)
+    lines.append(
+        f"aggregate episodes: {arrived} arrived, {detected} detected, "
+        f"{arrived - detected} missed; {escapes} aliasing escapes, "
+        f"{starved} starved periods"
+    )
+    if campaign.resumed_scenarios:
+        lines.append(
+            f"resumed {campaign.resumed_scenarios} scenario(s) from "
+            "checkpoint"
+        )
+    if not campaign.completed:
+        lines.append(
+            "partial run (max-batches reached); re-invoke with the same "
+            "checkpoint to continue"
+        )
+    if campaign.fault_tolerance is not None and campaign.fault_tolerance.any:
+        lines.append(f"faults: {campaign.fault_tolerance.render()}")
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from .misr import Misr, signature_of
 from .scheduler import (
     OnlineTestScheduler,
     SchedulerReport,
+    SessionStepper,
     random_workload,
 )
 from .symmetry import (
@@ -36,6 +37,7 @@ __all__ = [
     "ReadRecord",
     "RunResult",
     "SchedulerReport",
+    "SessionStepper",
     "SymmetricBist",
     "TransparentBist",
     "XorAccumulator",

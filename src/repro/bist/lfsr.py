@@ -94,6 +94,27 @@ class Lfsr:
         """The next *cycles* states."""
         return [self.step() for _ in range(cycles)]
 
+    def draw(self, nbits: int) -> int:
+        """The next *nbits* pseudo-random bits as one integer.
+
+        A Fibonacci LFSR shifts in exactly one fresh feedback bit per
+        step, so this collects one step's new LSB per output bit —
+        consecutive full states are just shifts of each other and must
+        not be concatenated.  The state is plain data (``self.state``),
+        so a checkpointed generator resumes bit-identically by
+        restoring it.
+        """
+        if nbits < 1:
+            raise ValueError("draw needs at least one bit")
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | (self.step() & 1)
+        return value
+
+    def copy(self) -> "Lfsr":
+        """An independent LFSR continuing from the current state."""
+        return Lfsr(self.width, self.state)
+
     def period(self, limit: int | None = None) -> int:
         """Cycle length from the current state (maximal sets give 2^w - 1)."""
         start = self.state

@@ -77,11 +77,21 @@ def random_workload(
     return workload
 
 
-class _SessionStepper:
+class SessionStepper:
     """Incremental two-phase BIST session (prediction then test).
 
     The stepper owns the snapshot semantics: expected values and
     prediction corrections refer to the memory content at session start.
+    ``phase`` reports which phase the next operation belongs to
+    (``"prediction"`` or ``"test"``), so a scheduler aborting on an
+    interfering write can attribute the abort to the phase it hit.
+
+    With ``track_stream=True`` the stepper also runs the alias-free
+    checker next to the MISRs: the prediction phase's expected read
+    stream is kept (bounded by one session, discarded at session end)
+    and every test-phase read is compared against it on the fly, so a
+    finished session reports ``stream_detected`` — the ground truth
+    that exposes aliasing escapes (stream mismatch, signatures equal).
     """
 
     def __init__(
@@ -90,14 +100,27 @@ class _SessionStepper:
         test: MarchTest,
         prediction: MarchTest,
         misr_width: int,
+        *,
+        track_stream: bool = False,
     ) -> None:
         self.memory = memory
         self.snapshot = memory.snapshot()
         self.predict_misr = Misr(misr_width)
         self.test_misr = Misr(misr_width)
+        self.phase = "prediction"
+        self.track_stream = track_stream
+        self.stream_mismatches = 0
+        self._expected: list[int] = []
+        self._cursor = 0
         self._ops = self._session(test, prediction)
         self.finished = False
         self.detected = False
+
+    @property
+    def stream_detected(self) -> bool:
+        """Whether the alias-free elementwise compare saw a mismatch
+        (only meaningful with ``track_stream=True``)."""
+        return self.stream_mismatches > 0
 
     def _phase(self, test: MarchTest, predicting: bool) -> Iterator[None]:
         width = self.memory.width
@@ -110,8 +133,17 @@ class _SessionStepper:
                         raw = self.memory.read(addr)
                         if predicting:
                             self.predict_misr.absorb(raw ^ mask_value)
+                            if self.track_stream:
+                                self._expected.append(raw ^ mask_value)
                         else:
                             self.test_misr.absorb(raw)
+                            if self.track_stream:
+                                if (
+                                    self._cursor >= len(self._expected)
+                                    or self._expected[self._cursor] != raw
+                                ):
+                                    self.stream_mismatches += 1
+                                self._cursor += 1
                         last_raw, last_mask = raw, mask_value
                     else:
                         if op.is_relative:
@@ -124,6 +156,7 @@ class _SessionStepper:
 
     def _session(self, test: MarchTest, prediction: MarchTest) -> Iterator[None]:
         yield from self._phase(prediction, predicting=True)
+        self.phase = "test"
         yield from self._phase(test, predicting=False)
 
     def step(self, max_ops: int) -> int:
@@ -134,14 +167,21 @@ class _SessionStepper:
                 next(self._ops)
             except StopIteration:
                 self.finished = True
+                self.phase = "done"
                 self.detected = (
                     self.predict_misr.signature != self.test_misr.signature
                 )
+                self._expected.clear()
                 break
             done += 1
         else:
             return done
         return done
+
+
+# Historical private name, kept for callers written before the stepper
+# became part of the public scheduling surface.
+_SessionStepper = SessionStepper
 
 
 class OnlineTestScheduler:
@@ -167,7 +207,7 @@ class OnlineTestScheduler:
         self.misr_width = misr_width
         self.ops_per_idle_cycle = ops_per_idle_cycle
         self.rng = rng if rng is not None else random.Random(0)
-        self._session: _SessionStepper | None = None
+        self._session: SessionStepper | None = None
 
     @property
     def session_ops(self) -> int:
@@ -209,7 +249,7 @@ class OnlineTestScheduler:
 
             report.idle_cycles += 1
             if self._session is None:
-                self._session = _SessionStepper(
+                self._session = SessionStepper(
                     self.memory, self.test, self.prediction, self.misr_width
                 )
             self._session.step(self.ops_per_idle_cycle)

@@ -41,6 +41,22 @@ Commands
     width-generic evaluation per fault shape — and diff every verdict
     against the concrete engines at each swept width; exits non-zero
     on any disagreement.
+``soak [--tests T] [--geometries NxW,..] [--rates R,..] [--mixes M,..]``
+    Long-horizon online-test scenarios: stochastic fault arrivals
+    (Poisson or burst processes; permanent, transient and intermittent
+    episodes), streaming LFSR workload traffic, and the periodic
+    transparent test running under an idle/duty-cycle budget with the
+    degradation ladder (primary test → shorter fallback → widened
+    period) when the budget starves it.  The scenario matrix (tests x
+    geometries x arrival rates x fault mixes x schedules) runs through
+    the supervised campaign fabric — ``--jobs``, ``--chaos``,
+    ``--max-retries`` and ``--chunk-timeout`` behave exactly as under
+    ``coverage``, and reports are bit-identical for any jobs count.
+    ``--checkpoint FILE`` banks finished scenarios to JSON and resumes
+    from it; ``--max-batches N`` time-boxes one invocation (exit code
+    3 marks a partial run).  Every scenario prints its detection-
+    latency distribution, aliasing escapes, missed transient windows
+    and diagnosis accuracy, followed by the matrix table.
 ``validate NOTATION``
     Parse and validate a March test given in textual notation.  For
     transparent tests this also runs the randomized execution check
@@ -69,6 +85,7 @@ from .analysis.coverage import (
     signature_flow,
 )
 from .analysis.reports import render_table
+from .analysis.soak import render_soak_campaign, render_soak_report
 from .analysis.table2 import DEFAULT_WIDTHS, table2_report
 from .baselines.scheme1 import scheme1_transform
 from .core.complexity import table3_rows
@@ -88,6 +105,7 @@ from .engine import (
 )
 from .library import catalog
 from .memory.injection import standard_fault_universe
+from .soak import run_soak_campaign, scenario_matrix
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -282,6 +300,79 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     if len(flows) > 1 and total_stats is not None:
         print(f"run total contexts: {total_stats.render()}")
     return 0
+
+
+def _parse_geometries(spec: str) -> tuple[tuple[int, int], ...]:
+    """``--geometries`` value (``"16x8,64x32"``) → (n_words, width)
+    pairs, validated at the parser boundary."""
+    geometries = []
+    for item in spec.split(","):
+        item = item.strip()
+        parts = item.split("x")
+        if len(parts) != 2:
+            raise ValueError(
+                f"--geometries expects comma-separated NxW items "
+                f"(e.g. '16x8,64x32'); got {item!r}"
+            )
+        try:
+            n_words, width = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(f"bad geometry {item!r}") from None
+        if n_words < 2 or width < 2:
+            raise ValueError(f"geometry {item!r} needs N >= 2 and W >= 2")
+        geometries.append((n_words, width))
+    if not geometries:
+        raise ValueError("--geometries must name at least one NxW pair")
+    return tuple(geometries)
+
+
+def _csv(spec: str, kind=str) -> tuple:
+    values = tuple(kind(item.strip()) for item in spec.split(",") if item.strip())
+    if not values:
+        raise ValueError(f"expected a comma-separated list, got {spec!r}")
+    return values
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    fallback = None if args.fallback.lower() == "none" else args.fallback
+    scenarios = scenario_matrix(
+        tests=_csv(args.tests),
+        geometries=_parse_geometries(args.geometries),
+        rates=_csv(args.rates, float),
+        mixes=_csv(args.mixes),
+        processes=_csv(args.processes),
+        periods=_csv(args.periods, int),
+        cycles=args.cycles,
+        idle_permille=args.idle_permille,
+        write_permille=args.write_permille,
+        budget=args.budget,
+        fallback_test=fallback,
+        misr_width=args.misr_width,
+        seed=args.seed,
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_retries + 1, timeout=args.chunk_timeout
+    )
+    chaos = FaultPlan.parse(args.chaos) if args.chaos else None
+    campaign = run_soak_campaign(
+        scenarios,
+        jobs=args.jobs,
+        retry=retry,
+        chaos=chaos,
+        degrade=not args.no_degrade,
+        checkpoint=args.checkpoint,
+        batch_size=args.batch_size,
+        max_batches=args.max_batches,
+    )
+    for report in campaign.reports:
+        print(render_soak_report(report))
+    print(render_soak_campaign(campaign))
+    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    print(
+        f"ran {campaign.scenarios}/{len(scenarios)} scenario(s) in "
+        f"{campaign.seconds:.3f}s{jobs_note}"
+    )
+    return 0 if campaign.completed else 3
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -549,6 +640,110 @@ def build_parser() -> argparse.ArgumentParser:
         "on the faults: line",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon online-test scenarios with stochastic "
+        "fault arrivals",
+    )
+    soak.add_argument(
+        "--tests",
+        default="March C-",
+        help="comma-separated catalog tests for the primary rung",
+    )
+    soak.add_argument(
+        "--geometries",
+        default="16x8",
+        help="comma-separated NxW memory geometries (e.g. '16x8,64x32')",
+    )
+    soak.add_argument(
+        "--rates",
+        default="2",
+        help="comma-separated fault arrival rates per 10k cycles",
+    )
+    soak.add_argument(
+        "--mixes",
+        default="mixed",
+        help="comma-separated fault-mix presets: permanent, transient, "
+        "intermittent, mixed",
+    )
+    soak.add_argument(
+        "--processes",
+        default="poisson",
+        help="comma-separated arrival processes: poisson, burst",
+    )
+    soak.add_argument(
+        "--periods",
+        default="1500",
+        help="comma-separated nominal cycles between test sessions",
+    )
+    soak.add_argument(
+        "--cycles", type=_positive_int, default=20_000,
+        help="simulated uptime per scenario",
+    )
+    soak.add_argument(
+        "--idle-permille", type=_nonnegative_int, default=700,
+        help="probability (1/1000) that a workload cycle is idle",
+    )
+    soak.add_argument(
+        "--write-permille", type=_nonnegative_int, default=40,
+        help="probability (1/1000) that a busy cycle writes",
+    )
+    soak.add_argument(
+        "--budget", type=_positive_int, default=None,
+        help="BIST operations granted per period (default: unlimited); "
+        "a budget the test cannot fit drives the degradation ladder",
+    )
+    soak.add_argument(
+        "--fallback",
+        default="MATS+",
+        help="shorter catalog test the ladder degrades to "
+        "('none' = widen the primary only)",
+    )
+    soak.add_argument("--misr-width", type=_positive_int, default=16)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the sharded scenario sweep "
+        "(deterministic: same reports for any value)",
+    )
+    soak.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="bank finished scenarios to this JSON file and resume "
+        "from it on re-invocation",
+    )
+    soak.add_argument(
+        "--batch-size", type=_positive_int, default=4,
+        help="scenarios dispatched (and checkpointed) per batch",
+    )
+    soak.add_argument(
+        "--max-batches", type=_positive_int, default=None,
+        help="new batches this invocation may run (time-boxed slice; "
+        "exit code 3 marks the run partial)",
+    )
+    soak.add_argument(
+        "--chunk-timeout", type=_nonnegative_float, default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for a sharded scenario chunk",
+    )
+    soak.add_argument(
+        "--max-retries", type=_nonnegative_int, default=2,
+        help="re-dispatches a chunk gets after a worker crash, hang "
+        "or corrupt result",
+    )
+    soak.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail the sweep when a chunk exhausts its retries "
+        "instead of running it in-process",
+    )
+    soak.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="inject deterministic worker faults (class name is "
+        "'soak', e.g. 'crash:soak:0' or 'seeded:7:0.3'); recovery "
+        "statistics appear on the faults: line",
+    )
+
     table2 = sub.add_parser(
         "table2",
         help="regenerate Table 2 symbolically and diff against "
@@ -623,6 +818,7 @@ _COMMANDS = {
     "transform": _cmd_transform,
     "complexity": _cmd_complexity,
     "coverage": _cmd_coverage,
+    "soak": _cmd_soak,
     "table2": _cmd_table2,
     "validate": _cmd_validate,
     "lint": _cmd_lint,

@@ -57,6 +57,20 @@ class FaultyMemory(Memory):
     def clear_faults(self) -> None:
         self._faults.clear()
 
+    def remove(self, fault: Fault) -> None:
+        """Withdraw one injected fault (time-varying injection).
+
+        The stored content is left exactly as the fault last forced it:
+        a transient stuck-at that disappears leaves the stuck value in
+        the cell until something overwrites it, as in real silicon.
+        Faults compare by value, so removing one occurrence of a
+        duplicate episode withdraws a single injection.
+        """
+        try:
+            self._faults.remove(fault)
+        except ValueError:
+            raise ValueError(f"fault not injected: {fault.describe()}") from None
+
     # -- storage semantics -------------------------------------------------
     def _address_fault(self, addr: int) -> AddressDecoderFault | None:
         for fault in self._faults:

@@ -1,0 +1,268 @@
+"""Stochastic fault arrival processes over simulated uptime.
+
+A soak scenario does not inject one hand-placed fault: defects *arrive*
+while the memory serves traffic.  This module turns a seeded
+:class:`ArrivalSpec` into a concrete :class:`FaultTimeline` — a sorted
+set of :class:`FaultEpisode` instances, each one fault drawn from the
+standard universe with a lifetime flavor:
+
+* **permanent** — injected at its arrival cycle, never withdrawn;
+* **transient** — active for an exponentially distributed window, then
+  withdrawn (the stored content keeps whatever the defect last forced,
+  as in real silicon — see :meth:`FaultyMemory.remove`);
+* **intermittent** — toggles with a duty cycle (``duty_on`` active
+  cycles, ``duty_off`` quiet cycles) until its lifetime ends.
+
+Arrival instants come from a Poisson process (exponential
+inter-arrival times) or a *burst* process (Poisson bursts, geometric
+burst sizes, arrivals packed within a short span) — both driven by one
+``random.Random(seed)``, so a timeline is a pure function of
+``(spec, geometry, horizon, seed)`` and every soak run that shares a
+seed sees bit-identical fault weather.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..memory.faults import Fault
+from ..memory.injection import standard_fault_universe
+
+FLAVORS = ("permanent", "transient", "intermittent")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Parameters of one fault arrival process.
+
+    ``rate`` is the expected number of arrivals per 10 000 simulated
+    cycles; ``mix`` weights the (permanent, transient, intermittent)
+    flavors.  ``classes`` restricts which standard-universe classes
+    faults are drawn from (``None`` = every class, extension classes
+    included).
+    """
+
+    rate: float = 1.0
+    process: str = "poisson"
+    mix: tuple[float, float, float] = (0.34, 0.33, 0.33)
+    burst_mean: float = 3.0
+    burst_span: int = 64
+    transient_mean: float = 2500.0
+    intermittent_mean: float = 10000.0
+    duty_on: int = 150
+    duty_off: int = 450
+    classes: tuple[str, ...] | None = None
+    max_inter_pairs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be > 0")
+        if self.process not in ("poisson", "burst"):
+            raise ValueError(f"unknown arrival process {self.process!r}")
+        if len(self.mix) != 3 or any(w < 0 for w in self.mix):
+            raise ValueError("mix must be three non-negative weights")
+        if sum(self.mix) <= 0:
+            raise ValueError("mix weights must not all be zero")
+        if self.burst_mean < 1:
+            raise ValueError("burst_mean must be >= 1")
+        if self.burst_span < 1:
+            raise ValueError("burst_span must be >= 1")
+        if self.transient_mean <= 0 or self.intermittent_mean <= 0:
+            raise ValueError("lifetime means must be > 0")
+        if self.duty_on < 1 or self.duty_off < 0:
+            raise ValueError("duty_on must be >= 1 and duty_off >= 0")
+
+    def as_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "process": self.process,
+            "mix": list(self.mix),
+            "burst_mean": self.burst_mean,
+            "burst_span": self.burst_span,
+            "transient_mean": self.transient_mean,
+            "intermittent_mean": self.intermittent_mean,
+            "duty_on": self.duty_on,
+            "duty_off": self.duty_off,
+            "classes": None if self.classes is None else list(self.classes),
+            "max_inter_pairs": self.max_inter_pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArrivalSpec":
+        data = dict(payload)
+        data["mix"] = tuple(data["mix"])
+        if data.get("classes") is not None:
+            data["classes"] = tuple(data["classes"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultEpisode:
+    """One fault's lifetime within a scenario."""
+
+    index: int
+    flavor: str
+    fault: Fault
+    start: int
+    end: int | None  # exclusive; None = permanent
+    duty_on: int = 0
+    duty_off: int = 0
+
+    def active_at(self, cycle: int) -> bool:
+        if cycle < self.start:
+            return False
+        if self.end is not None and cycle >= self.end:
+            return False
+        if self.flavor != "intermittent" or self.duty_off == 0:
+            return True
+        phase = (cycle - self.start) % (self.duty_on + self.duty_off)
+        return phase < self.duty_on
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Whether any active window intersects ``[lo, hi]``."""
+        if hi < self.start:
+            return False
+        if self.end is not None and lo >= self.end:
+            return False
+        if self.flavor != "intermittent" or self.duty_off == 0:
+            return True
+        period = self.duty_on + self.duty_off
+        lo = max(lo, self.start)
+        if self.end is not None:
+            hi = min(hi, self.end - 1)
+        if lo > hi:
+            return False
+        phase = (lo - self.start) % period
+        if phase < self.duty_on:
+            return True
+        # Quiet at lo: active again at the next period boundary.
+        return lo + (period - phase) <= hi
+
+    def toggles(self, horizon: int) -> list[tuple[int, bool]]:
+        """``(cycle, active)`` state changes within ``[0, horizon)``."""
+        events: list[tuple[int, bool]] = []
+        if self.start >= horizon:
+            return events
+        end = horizon if self.end is None else min(self.end, horizon)
+        if self.flavor != "intermittent" or self.duty_off == 0:
+            events.append((self.start, True))
+            if self.end is not None and self.end < horizon:
+                events.append((self.end, False))
+            return events
+        period = self.duty_on + self.duty_off
+        cycle = self.start
+        while cycle < end:
+            events.append((cycle, True))
+            off_at = min(cycle + self.duty_on, end)
+            if off_at < horizon:
+                events.append((off_at, False))
+            cycle += period
+        return events
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """Every fault episode of one scenario, sorted by arrival."""
+
+    episodes: tuple[FaultEpisode, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    def __iter__(self):
+        return iter(self.episodes)
+
+    def toggle_events(self, horizon: int) -> dict[int, list[tuple[int, bool]]]:
+        """``cycle -> [(episode index, active)]`` for the run loop."""
+        events: dict[int, list[tuple[int, bool]]] = {}
+        for episode in self.episodes:
+            for cycle, active in episode.toggles(horizon):
+                events.setdefault(cycle, []).append((episode.index, active))
+        return events
+
+    @classmethod
+    def generate(
+        cls,
+        spec: ArrivalSpec,
+        n_words: int,
+        width: int,
+        horizon: int,
+        seed: int,
+    ) -> "FaultTimeline":
+        """A timeline drawn from *spec* over ``[0, horizon)`` cycles."""
+        rng = random.Random(seed)
+        universe = standard_fault_universe(
+            n_words,
+            width,
+            max_inter_pairs=spec.max_inter_pairs,
+            rng=random.Random(seed ^ 0x5F5E1),
+            include_rdf=True,
+            include_af=True,
+        )
+        if spec.classes is not None:
+            unknown = [c for c in spec.classes if c not in universe]
+            if unknown:
+                raise ValueError(
+                    f"unknown fault classes {unknown}; universe has "
+                    f"{', '.join(universe)}"
+                )
+            names = list(spec.classes)
+        else:
+            names = list(universe)
+
+        arrivals: list[int] = []
+        if spec.process == "poisson":
+            t = rng.expovariate(spec.rate / 10_000.0)
+            while t < horizon:
+                arrivals.append(int(t))
+                t += rng.expovariate(spec.rate / 10_000.0)
+        else:  # burst
+            burst_rate = spec.rate / (10_000.0 * spec.burst_mean)
+            t = rng.expovariate(burst_rate)
+            while t < horizon:
+                size = 1
+                if spec.burst_mean > 1:
+                    # Geometric burst size with the requested mean.
+                    p = 1.0 / spec.burst_mean
+                    while rng.random() > p:
+                        size += 1
+                offsets = sorted(
+                    rng.randrange(spec.burst_span) for _ in range(size)
+                )
+                for offset in offsets:
+                    cycle = int(t) + offset
+                    if cycle < horizon:
+                        arrivals.append(cycle)
+                t += rng.expovariate(burst_rate)
+        arrivals.sort()
+
+        total = sum(spec.mix)
+        cuts = (
+            spec.mix[0] / total,
+            (spec.mix[0] + spec.mix[1]) / total,
+        )
+        episodes: list[FaultEpisode] = []
+        for index, start in enumerate(arrivals):
+            draw = rng.random()
+            if draw < cuts[0]:
+                flavor = "permanent"
+            elif draw < cuts[1]:
+                flavor = "transient"
+            else:
+                flavor = "intermittent"
+            fault_class = universe[names[rng.randrange(len(names))]]
+            fault = fault_class[rng.randrange(len(fault_class))]
+            end: int | None = None
+            duty_on = duty_off = 0
+            if flavor == "transient":
+                end = start + 1 + int(rng.expovariate(1.0 / spec.transient_mean))
+            elif flavor == "intermittent":
+                end = start + 1 + int(
+                    rng.expovariate(1.0 / spec.intermittent_mean)
+                )
+                duty_on, duty_off = spec.duty_on, spec.duty_off
+            episodes.append(
+                FaultEpisode(index, flavor, fault, start, end, duty_on, duty_off)
+            )
+        return cls(tuple(episodes))

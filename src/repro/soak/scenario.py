@@ -1,0 +1,200 @@
+"""Soak scenarios: specs, single-scenario execution, scenario matrices.
+
+A :class:`SoakScenario` is a frozen, picklable, JSON-round-trippable
+value — the *only* input of :func:`run_scenario` besides the spec's own
+seed.  That purity is load-bearing: the campaign layer shards scenario
+lists across supervised workers, retries them after chaos-injected
+crashes, and resumes killed runs from checkpoints, and every one of
+those paths asserts the recovered reports are bit-identical to an
+undisturbed run.
+
+Sub-streams (memory content, workload traffic, fault weather, the
+scheduler's protocol rng) each derive their own seed from the scenario
+seed and name via CRC-32, so changing one axis of a scenario never
+perturbs the random draws of another.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, replace
+
+from ..core.twm import twm_transform
+from ..library import catalog
+from ..memory.injection import FaultyMemory
+from .arrivals import ArrivalSpec, FaultTimeline
+from .scheduler import SoakReport, SoakSchedule, SoakScheduler, TestRung
+from .workload import LfsrWorkload
+
+# Named fault-mix presets for CLI/matrix ergonomics: weights of
+# (permanent, transient, intermittent) arrivals.
+MIXES: dict[str, tuple[float, float, float]] = {
+    "permanent": (1.0, 0.0, 0.0),
+    "transient": (0.0, 1.0, 0.0),
+    "intermittent": (0.0, 0.0, 1.0),
+    "mixed": (0.34, 0.33, 0.33),
+}
+
+
+@dataclass(frozen=True)
+class SoakScenario:
+    """One cell of the soak matrix: everything a run needs, by value."""
+
+    name: str
+    test: str = "March C-"
+    fallback_test: str | None = "MATS+"
+    n_words: int = 16
+    width: int = 8
+    cycles: int = 20_000
+    idle_permille: int = 700
+    write_permille: int = 40
+    misr_width: int = 16
+    schedule: SoakSchedule = SoakSchedule()
+    arrival: ArrivalSpec = ArrivalSpec()
+    diagnose: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_words < 2 or self.width < 2:
+            raise ValueError("soak scenarios need n_words >= 2, width >= 2")
+        if self.cycles < 1:
+            raise ValueError("cycles must be >= 1")
+
+    def sub_seed(self, role: str) -> int:
+        """A per-stream seed derived from (name, seed, role)."""
+        return zlib.crc32(f"{self.name}|{self.seed}|{role}".encode())
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "test": self.test,
+            "fallback_test": self.fallback_test,
+            "n_words": self.n_words,
+            "width": self.width,
+            "cycles": self.cycles,
+            "idle_permille": self.idle_permille,
+            "write_permille": self.write_permille,
+            "misr_width": self.misr_width,
+            "schedule": self.schedule.as_dict(),
+            "arrival": self.arrival.as_dict(),
+            "diagnose": self.diagnose,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SoakScenario":
+        data = dict(payload)
+        data["schedule"] = SoakSchedule.from_dict(data["schedule"])
+        data["arrival"] = ArrivalSpec.from_dict(data["arrival"])
+        return cls(**data)
+
+
+def _rung(test_name: str, width: int) -> TestRung:
+    result = twm_transform(catalog.get(test_name), width)
+    return TestRung(test_name, result.twmarch, result.prediction)
+
+
+def run_scenario(scenario: SoakScenario) -> SoakReport:
+    """Execute one scenario end to end; pure in ``(scenario,)``."""
+    primary = _rung(scenario.test, scenario.width)
+    fallback = (
+        _rung(scenario.fallback_test, scenario.width)
+        if scenario.fallback_test is not None
+        and scenario.fallback_test != scenario.test
+        else None
+    )
+    memory = FaultyMemory(scenario.n_words, scenario.width)
+    memory.randomize(random.Random(scenario.sub_seed("content")))
+    timeline = FaultTimeline.generate(
+        scenario.arrival,
+        scenario.n_words,
+        scenario.width,
+        scenario.cycles,
+        scenario.sub_seed("arrivals"),
+    )
+    workload = LfsrWorkload(
+        scenario.n_words,
+        scenario.width,
+        idle_permille=scenario.idle_permille,
+        write_permille=scenario.write_permille,
+        seed=scenario.sub_seed("workload"),
+    )
+    scheduler = SoakScheduler(
+        memory,
+        primary,
+        fallback,
+        scenario.schedule,
+        timeline,
+        misr_width=scenario.misr_width,
+        rng=random.Random(scenario.sub_seed("protocol")),
+        diagnose=scenario.diagnose,
+        scenario_name=scenario.name,
+    )
+    return scheduler.run(workload, scenario.cycles)
+
+
+def scenario_matrix(
+    *,
+    tests: tuple[str, ...] = ("March C-",),
+    geometries: tuple[tuple[int, int], ...] = ((16, 8),),
+    rates: tuple[float, ...] = (1.0,),
+    mixes: tuple[str, ...] = ("mixed",),
+    periods: tuple[int, ...] = (1500,),
+    cycles: int = 20_000,
+    idle_permille: int = 700,
+    write_permille: int = 40,
+    budget: int | None = None,
+    fallback_test: str | None = "MATS+",
+    misr_width: int = 16,
+    seed: int = 0,
+    processes: tuple[str, ...] | None = None,
+) -> list[SoakScenario]:
+    """The full cross product (tests x geometries x rates x mixes x
+    schedules) as named scenarios, each with its own derived seed."""
+    scenarios: list[SoakScenario] = []
+    for test in tests:
+        for n_words, width in geometries:
+            for rate in rates:
+                for mix in mixes:
+                    if mix not in MIXES:
+                        raise ValueError(
+                            f"unknown mix {mix!r}; choose from "
+                            f"{', '.join(MIXES)}"
+                        )
+                    mix_processes = processes or ("poisson",)
+                    for process in mix_processes:
+                        for period in periods:
+                            name = (
+                                f"{test}|{n_words}x{width}|r{rate:g}|"
+                                f"{mix}|{process}|p{period}"
+                            )
+                            scenarios.append(
+                                SoakScenario(
+                                    name=name,
+                                    test=test,
+                                    fallback_test=fallback_test,
+                                    n_words=n_words,
+                                    width=width,
+                                    cycles=cycles,
+                                    idle_permille=idle_permille,
+                                    write_permille=write_permille,
+                                    misr_width=misr_width,
+                                    schedule=SoakSchedule(
+                                        period=period, budget=budget
+                                    ),
+                                    arrival=ArrivalSpec(
+                                        rate=rate,
+                                        process=process,
+                                        mix=MIXES[mix],
+                                    ),
+                                    seed=seed,
+                                )
+                            )
+    return scenarios
+
+
+def with_seed(scenario: SoakScenario, seed: int) -> SoakScenario:
+    """The same scenario under a different seed (dataclasses.replace
+    preserving the frozen spec)."""
+    return replace(scenario, seed=seed)

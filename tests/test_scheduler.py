@@ -165,6 +165,74 @@ class TestFaultDetection:
         assert latencies[1] is None or latencies[8] <= latencies[1]
 
 
+class TestSessionEdgeCases:
+    def test_abort_lands_mid_prediction_phase(self):
+        memory = Memory(4, 8)
+        memory.randomize(random.Random(7))
+        sched = make_scheduler(memory, ops_per_idle_cycle=1)
+        seen_phases = []
+
+        def write_during_prediction(cycle, rng):
+            session = sched._session
+            if session is not None and session.phase == "prediction":
+                seen_phases.append(session.phase)
+                return AccessEvent("w", 1, 0x55)
+            return None
+
+        report = sched.run(write_during_prediction, 6)
+        assert seen_phases and all(p == "prediction" for p in seen_phases)
+        assert report.sessions_aborted == len(seen_phases)
+        assert report.sessions_completed == 0
+
+    def test_zero_idle_period_never_starts_a_session(self):
+        memory = Memory(4, 8)
+        memory.randomize(random.Random(8))
+        sched = make_scheduler(memory)
+
+        def write_storm(cycle, rng):
+            return AccessEvent("w", cycle % 4, cycle & 0xFF)
+
+        report = sched.run(write_storm, 64)
+        assert report.idle_cycles == 0
+        assert report.sessions_completed == 0
+        # A write with no session in flight has nothing to abort.
+        assert report.sessions_aborted == 0
+
+    def test_fault_at_cycle_zero_detected_by_first_session(self):
+        memory = FaultyMemory(4, 8)
+        memory.randomize(random.Random(9))
+        sched = make_scheduler(memory, ops_per_idle_cycle=8)
+
+        def inject(mem):
+            mem.inject(StuckAtFault(Cell(0, 0), 1))
+
+        report = sched.run(
+            idle_workload, sched.session_ops, fault_at=(0, inject)
+        )
+        assert report.fault_cycle == 0
+        assert report.sessions_completed >= 1
+        assert report.detections
+        assert report.detection_latency == report.detections[0]
+
+    def test_back_to_back_sessions_use_fresh_misrs(self):
+        memory = FaultyMemory(4, 8)
+        memory.randomize(random.Random(10))
+        sched = make_scheduler(memory, ops_per_idle_cycle=16)
+
+        def inject(mem):
+            mem.inject(StuckAtFault(Cell(3, 2), 0))
+
+        report = sched.run(
+            idle_workload, sched.session_ops, fault_at=(0, inject)
+        )
+        assert report.sessions_completed >= 2
+        # Every session seeds a fresh MISR pair: each one must detect the
+        # persistent fault on its own, with no signature state carried
+        # over from the session before it.
+        assert len(report.detections) == report.sessions_completed
+        assert report.detections == sorted(report.detections)
+
+
 class TestWorkloadFactory:
     def test_idle_fraction_bounds(self):
         with pytest.raises(ValueError):

@@ -31,7 +31,8 @@ json`` emits the same machine-readable shape as ``repro lint``.
 
 Usage::
 
-    python tools/detlint.py src/repro/engine [more paths] [--format json]
+    python tools/detlint.py src/repro/engine src/repro/bist src/repro/soak \
+        [more paths] [--format json]
 
 Exit codes: 0 clean, 1 findings, 2 usage errors.
 """
@@ -303,8 +304,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro/engine"],
-        help="files or directories to lint (default: src/repro/engine)",
+        default=[
+            "src/repro/engine",
+            "src/repro/bist",
+            "src/repro/soak",
+        ],
+        help=(
+            "files or directories to lint (default: src/repro/engine, "
+            "src/repro/bist, src/repro/soak)"
+        ),
     )
     parser.add_argument("--format", choices=("text", "json"), default="text")
     args = parser.parse_args(argv)
